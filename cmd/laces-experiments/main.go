@@ -1,0 +1,186 @@
+// Command laces-experiments regenerates every table and figure of the
+// paper's evaluation against the simulated world and prints them in the
+// paper's layout. See DESIGN.md §5 for the experiment index and
+// EXPERIMENTS.md for paper-vs-measured numbers.
+//
+// Usage:
+//
+//	laces-experiments [-scale default|test] [-only table1,fig5,...] [-longitudinal]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/laces-project/laces/internal/experiments"
+	"github.com/laces-project/laces/internal/netsim"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "world scale: default or test")
+	only := flag.String("only", "", "comma-separated experiment list (e.g. table1,fig5); empty runs all")
+	longitudinal := flag.Bool("longitudinal", false, "include the (slow) Fig 9/10 longitudinal run")
+	flag.Parse()
+
+	var cfg netsim.Config
+	switch *scale {
+	case "default":
+		cfg = netsim.DefaultConfig()
+	case "test":
+		cfg = netsim.TestConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "laces-experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	start := time.Now()
+	env, err := experiments.NewEnv(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "world generated in %.1fs (%d IPv4 /24s, %d IPv6 /48s)\n",
+		time.Since(start).Seconds(), len(env.World.TargetsV4), len(env.World.TargetsV6))
+
+	if *only == "" {
+		if err := env.RunAll(os.Stdout, !*longitudinal); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	for _, name := range strings.Split(*only, ",") {
+		if err := runOne(env, strings.TrimSpace(strings.ToLower(name))); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "laces-experiments:", err)
+	os.Exit(1)
+}
+
+func runOne(env *experiments.Env, name string) error {
+	w := os.Stdout
+	switch name {
+	case "table1":
+		rows, err := env.Table1()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable1(w, rows)
+	case "table2":
+		rows, err := env.Table2()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable2(w, rows)
+	case "table3":
+		rows, err := env.Table3()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable3(w, rows)
+	case "table4":
+		rows, err := env.Table4()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable4(w, rows)
+	case "table5":
+		rows, err := env.Table5()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable5(w, rows)
+	case "table6":
+		rows, err := env.Table6()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderTable6(w, rows)
+	case "fig5":
+		series, err := env.Fig5()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFig5(w, series)
+	case "fig6":
+		r, err := env.Fig6()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFig6(w, r)
+	case "fig7", "fig13":
+		r, err := env.ProtocolVenn(false)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderProtocolVenn(w, r)
+	case "fig14":
+		r, err := env.ProtocolVenn(true)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderProtocolVenn(w, r)
+	case "fig8":
+		r, err := env.Fig8()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFig8(w, r)
+	case "fig9":
+		h, err := env.Fig9()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFig9(w, h)
+	case "fig10":
+		r, err := env.Fig10()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFig10(w, r)
+	case "fig11":
+		rows, err := env.Fig11()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFig11(w, rows)
+	case "fig12":
+		r, err := env.Fig12()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderFig12(w, r)
+	case "sweep", "partial":
+		r, err := env.PartialAnycastSweep()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderSweep(w, r)
+	case "validation", "groundtruth":
+		rows, err := env.GroundTruth(false)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderValidation(w, rows, false)
+	case "enum", "enumcompare":
+		rows, err := env.EnumComparison()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderEnumComparison(w, rows)
+	case "mdecomp", "globalbgp":
+		r, err := env.MDecomposition()
+		if err != nil {
+			return err
+		}
+		return experiments.RenderMDecomposition(w, r)
+	default:
+		return fmt.Errorf("unknown experiment %q", name)
+	}
+}

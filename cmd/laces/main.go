@@ -1,0 +1,531 @@
+// Command laces is the LACeS measurement tool: the three components of
+// §4.2.1 (orchestrator, worker, measure/CLI) plus local census and iGreedy
+// analysis subcommands.
+//
+// Usage:
+//
+//	laces orchestrator -listen 127.0.0.1:4000
+//	laces worker -name ams01 -orchestrator 127.0.0.1:4000 [-sites 8]
+//	laces measure -orchestrator 127.0.0.1:4000 -protocol ICMP -targets 500 -out results.csv
+//	laces census  -day 100 [-v6] [-json census.json]
+//	laces igreedy -samples samples.csv
+//	laces trace -target 1.1.0.0/24 -from Tokyo
+//	laces diff day100.json day107.json
+//	laces dashboard day*.json
+//
+// The worker and measure subcommands probe the embedded simulated Internet
+// (all components must use the same -seed); the orchestration plane itself
+// is real TCP.
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"time"
+
+	laces "github.com/laces-project/laces"
+	"github.com/laces-project/laces/internal/api"
+	"github.com/laces-project/laces/internal/client"
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/orchestrator"
+	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/report"
+	"github.com/laces-project/laces/internal/traceroute"
+	"github.com/laces-project/laces/internal/wire"
+	"github.com/laces-project/laces/internal/worker"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd, args := os.Args[1], os.Args[2:]
+	var err error
+	switch cmd {
+	case "orchestrator":
+		err = runOrchestrator(args)
+	case "worker":
+		err = runWorker(args)
+	case "measure":
+		err = runMeasure(args)
+	case "census":
+		err = runCensus(args)
+	case "igreedy":
+		err = runIGreedy(args)
+	case "serve":
+		err = runServe(args)
+	case "trace":
+		err = runTrace(args)
+	case "diff":
+		err = runDiff(args)
+	case "dashboard":
+		err = runDashboard(args)
+	case "help", "-h", "--help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "laces: unknown subcommand %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "laces:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `laces — Longitudinal Anycast Census System
+
+Subcommands:
+  orchestrator   run the central controller (accepts workers and CLI runs)
+  worker         run a measurement worker at one anycast site
+  measure        define and submit a measurement, collect results (CLI)
+  census         run a full daily census pipeline locally
+  igreedy        analyse latency samples: detect/enumerate/geolocate anycast
+  serve          expose the census and live measurements over HTTP
+  trace          traceroute a hitlist prefix from a chosen vantage city
+  diff           compare two published census JSON files day-over-day
+  dashboard      render a text dashboard over census JSON snapshots
+
+Run 'laces <subcommand> -h' for flags.
+`)
+}
+
+// signalContext returns a context cancelled on SIGINT.
+func signalContext() context.Context {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	_ = stop
+	return ctx
+}
+
+// simWorld builds the shared simulated Internet for the given seed and
+// scale.
+func simWorld(seed uint64, scale string) (*laces.World, error) {
+	var cfg laces.WorldConfig
+	switch scale {
+	case "test":
+		cfg = laces.TestConfig()
+	case "default":
+		cfg = laces.DefaultConfig()
+	default:
+		return nil, fmt.Errorf("unknown -scale %q (test, default)", scale)
+	}
+	cfg.Seed = seed
+	return laces.NewWorld(cfg)
+}
+
+// simDeployment builds the n-site measurement deployment all components
+// must agree on.
+func simDeployment(w *laces.World, n int) (*laces.Deployment, error) {
+	cities := tangledCities()
+	if n <= 0 || n > len(cities) {
+		n = len(cities)
+	}
+	return w.NewDeployment("laces-cli", cities[:n], netsim.PolicyUnmodified)
+}
+
+func tangledCities() []string {
+	return []string{
+		"Amsterdam", "New York", "Tokyo", "Sydney", "Sao Paulo",
+		"Johannesburg", "Frankfurt", "Singapore", "London", "Los Angeles",
+		"Mumbai", "Stockholm", "Santiago", "Seoul", "Toronto", "Warsaw",
+	}
+}
+
+func runOrchestrator(args []string) error {
+	fs := flag.NewFlagSet("orchestrator", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:4000", "TCP listen address")
+	fs.Parse(args)
+
+	o, err := orchestrator.New(orchestrator.Config{
+		Addr: *listen,
+		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("orchestrator listening on %s\n", o.Addr())
+	return o.Serve(signalContext())
+}
+
+func runWorker(args []string) error {
+	fs := flag.NewFlagSet("worker", flag.ExitOnError)
+	name := fs.String("name", "worker", "worker name")
+	orch := fs.String("orchestrator", "127.0.0.1:4000", "orchestrator address")
+	seed := fs.Uint64("seed", 1, "world seed (must match across components)")
+	scale := fs.String("scale", "test", "world scale: test or default")
+	sites := fs.Int("sites", 8, "deployment size (must match across components)")
+	fs.Parse(args)
+
+	w, err := simWorld(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	dep, err := simDeployment(w, *sites)
+	if err != nil {
+		return err
+	}
+	wk, err := worker.New(worker.Config{
+		Name:         *name,
+		Orchestrator: *orch,
+		NewProber: func(self int) (worker.Prober, error) {
+			return worker.NewSimProber(w, dep, self%dep.NumSites())
+		},
+		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+	})
+	if err != nil {
+		return err
+	}
+	return wk.Run(signalContext())
+}
+
+func runMeasure(args []string) error {
+	fs := flag.NewFlagSet("measure", flag.ExitOnError)
+	orch := fs.String("orchestrator", "127.0.0.1:4000", "orchestrator address")
+	proto := fs.String("protocol", "ICMP", "probing protocol: ICMP, TCP or DNS")
+	nTargets := fs.Int("targets", 1000, "number of hitlist targets to probe")
+	v6 := fs.Bool("v6", false, "probe the IPv6 hitlist")
+	seed := fs.Uint64("seed", 1, "world seed (must match across components)")
+	scale := fs.String("scale", "test", "world scale: test or default")
+	rate := fs.Float64("rate", 10000, "targets per second")
+	offsetMS := fs.Int64("offset-ms", 1000, "inter-worker probe offset (ms)")
+	out := fs.String("out", "", "write results CSV to this file")
+	fs.Parse(args)
+
+	if _, err := packet.ParseProtocol(*proto); err != nil {
+		return err
+	}
+	w, err := simWorld(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	hl := laces.HitlistForDay(w, *v6, 0)
+	var addrs []netip.Addr
+	for _, e := range hl.Entries {
+		addrs = append(addrs, e.Addr)
+		if len(addrs) >= *nTargets {
+			break
+		}
+	}
+	cli := &client.Client{Addr: *orch}
+	def := wire.MeasurementDef{
+		ID:       uint16(time.Now().UnixNano() & 0x7fff),
+		Protocol: *proto,
+		V6:       *v6,
+		OffsetMS: *offsetMS,
+		Rate:     *rate,
+	}
+	fmt.Printf("submitting measurement %d: %d targets, %s, rate %.0f/s\n",
+		def.ID, len(addrs), *proto, *rate)
+	outcome, err := cli.Run(signalContext(), def, addrs, nil)
+	if err != nil {
+		return err
+	}
+	cands := outcome.Candidates()
+	fmt.Printf("results: %d replies from %d workers; %d anycast candidates\n",
+		len(outcome.Results), outcome.Workers, len(cands))
+	for _, c := range cands {
+		fmt.Println("  AC:", c)
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := outcome.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *out)
+	}
+	return nil
+}
+
+func runCensus(args []string) error {
+	fs := flag.NewFlagSet("census", flag.ExitOnError)
+	day := fs.Int("day", 0, "census day (0 = March 21, 2024)")
+	v6 := fs.Bool("v6", false, "IPv6 census")
+	seed := fs.Uint64("seed", 1, "world seed")
+	scale := fs.String("scale", "test", "world scale: test or default")
+	jsonOut := fs.String("json", "", "write census JSON to this file")
+	csvOut := fs.String("csv", "", "write census CSV to this file")
+	fs.Parse(args)
+
+	w, err := simWorld(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	dep, err := laces.Tangled(w)
+	if err != nil {
+		return err
+	}
+	pipe, err := laces.NewPipeline(w, laces.PipelineConfig{
+		Deployment: dep,
+		GCDVPs:     laces.ArkVPs(w),
+	})
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	c, err := pipe.RunDaily(*day, *v6, laces.DayOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("census day %d (%s): hitlist=%d candidates=%d G=%d M=%d probes=%d+%d (%.1fs)\n",
+		*day, c.Day.Format(time.DateOnly), c.HitlistSize, len(c.Candidates()),
+		len(c.G()), len(c.M()), c.ProbesAnycastStage, c.ProbesGCDStage,
+		time.Since(start).Seconds())
+	for _, a := range c.Alerts {
+		fmt.Printf("ALERT [%s]: %s\n", a.Kind, a.Message)
+	}
+	if *jsonOut != "" {
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *jsonOut)
+	}
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := c.WriteCSV(f); err != nil {
+			return err
+		}
+		fmt.Println("wrote", *csvOut)
+	}
+	return nil
+}
+
+// runIGreedy analyses a CSV of "vp,lat,lon,rtt_ms" rows.
+func runIGreedy(args []string) error {
+	fs := flag.NewFlagSet("igreedy", flag.ExitOnError)
+	samplesPath := fs.String("samples", "", "CSV file with vp,lat,lon,rtt_ms rows (- for stdin)")
+	fs.Parse(args)
+	if *samplesPath == "" {
+		return fmt.Errorf("igreedy: -samples required")
+	}
+	in := os.Stdin
+	if *samplesPath != "-" {
+		f, err := os.Open(*samplesPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		in = f
+	}
+	var samples []laces.GCDSample
+	sc := bufio.NewScanner(in)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") || strings.HasPrefix(text, "vp,") {
+			continue
+		}
+		parts := strings.Split(text, ",")
+		if len(parts) != 4 {
+			return fmt.Errorf("igreedy: line %d: want vp,lat,lon,rtt_ms", line)
+		}
+		lat, err1 := strconv.ParseFloat(parts[1], 64)
+		lon, err2 := strconv.ParseFloat(parts[2], 64)
+		ms, err3 := strconv.ParseFloat(parts[3], 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return fmt.Errorf("igreedy: line %d: bad number", line)
+		}
+		samples = append(samples, laces.GCDSample{
+			VP:  parts[0],
+			Loc: laces.Coordinate{Lat: lat, Lon: lon},
+			RTT: time.Duration(ms * float64(time.Millisecond)),
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	res := laces.AnalyzeGCD(samples)
+	fmt.Printf("samples: %d\nanycast: %v\nsites: %d\n", res.Samples, res.Anycast, res.NumSites())
+	for _, s := range res.Sites {
+		fmt.Printf("  site via %-20s radius %7.0f km  →  %s\n", s.VP, s.Disc.RadiusKm, s.City)
+	}
+	return nil
+}
+
+// runServe exposes the census and on-demand measurements over HTTP (the
+// §9 community API).
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("serve", flag.ExitOnError)
+	listen := fs.String("listen", "127.0.0.1:8080", "HTTP listen address")
+	seed := fs.Uint64("seed", 1, "world seed")
+	scale := fs.String("scale", "test", "world scale: test or default")
+	day := fs.Int("day", 0, "census day served as \"today\"")
+	fs.Parse(args)
+
+	w, err := simWorld(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	dep, err := laces.Tangled(w)
+	if err != nil {
+		return err
+	}
+	srv, err := api.NewServer(w, dep,
+		func(d int, v6 bool) ([]laces.VP, error) { return platform.Ark(w, d, v6) },
+		func() int { return *day })
+	if err != nil {
+		return err
+	}
+	fmt.Printf("census API listening on http://%s (try /v1/census, /v1/healthz)\n", *listen)
+	server := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		<-signalContext().Done()
+		server.Close()
+	}()
+	err = server.ListenAndServe()
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// loadDocument reads one published census JSON file.
+func loadDocument(path string) (*core.Document, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	doc, err := core.ParseDocument(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return doc, nil
+}
+
+func runDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	max := fs.Int("max", 10, "examples shown per change kind")
+	fs.Parse(args)
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: laces diff [-max N] <old.json> <new.json>")
+	}
+	old, err := loadDocument(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	cur, err := loadDocument(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	if old.Family != cur.Family {
+		return fmt.Errorf("family mismatch: %s vs %s", old.Family, cur.Family)
+	}
+	return report.Diff(old, cur).Render(os.Stdout, *max)
+}
+
+func runDashboard(args []string) error {
+	fs := flag.NewFlagSet("dashboard", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: laces dashboard <census.json> [more.json ...]")
+	}
+	var docs []*core.Document
+	for _, path := range fs.Args() {
+		doc, err := loadDocument(path)
+		if err != nil {
+			return err
+		}
+		docs = append(docs, doc)
+	}
+	return report.Dashboard(os.Stdout, docs)
+}
+
+func runTrace(args []string) error {
+	fs := flag.NewFlagSet("trace", flag.ExitOnError)
+	target := fs.String("target", "", "hitlist prefix or address to trace (e.g. 1.2.3.0/24)")
+	from := fs.String("from", "Amsterdam", "vantage city")
+	day := fs.Int("day", 0, "census day")
+	v6 := fs.Bool("v6", false, "trace an IPv6 hitlist target")
+	seed := fs.Uint64("seed", 1, "world seed")
+	scale := fs.String("scale", "test", "world scale: test or default")
+	fs.Parse(args)
+	if *target == "" {
+		return fmt.Errorf("usage: laces trace -target <prefix|addr> [-from City] [-day N]")
+	}
+	w, err := simWorld(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	tg, err := findTarget(w, *target, *v6)
+	if err != nil {
+		return err
+	}
+	vp, err := w.NewVP("trace-cli", *from, 0)
+	if err != nil {
+		return err
+	}
+	p, err := traceroute.Run(w, vp, tg, traceroute.Options{
+		At:          netsim.DayTime(*day),
+		Measurement: uint16(*day),
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("traceroute to %s (%s) from %s, day %d\n", tg.Addr, tg.Prefix, *from, *day)
+	for _, h := range p.Hops {
+		if h.Router == "" {
+			fmt.Printf("  %2d  *\n", h.TTL)
+			continue
+		}
+		where := w.CityAt(h.CityIdx).Name
+		note := ""
+		if h.PoP {
+			note = "  ← operator PoP"
+		}
+		fmt.Printf("  %2d  %-44s %8.2f ms  %s%s\n",
+			h.TTL, h.Router, float64(h.RTT.Microseconds())/1000, where, note)
+	}
+	if !p.Reached {
+		fmt.Println("target did not answer (unresponsive to ICMP)")
+	}
+	return nil
+}
+
+// findTarget resolves a prefix or address string to a hitlist target.
+func findTarget(w *laces.World, s string, v6 bool) (*netsim.Target, error) {
+	targets := w.Targets(v6)
+	if pfx, err := netip.ParsePrefix(s); err == nil {
+		for i := range targets {
+			if targets[i].Prefix == pfx {
+				return &targets[i], nil
+			}
+		}
+		return nil, fmt.Errorf("prefix %s not on the hitlist", pfx)
+	}
+	addr, err := netip.ParseAddr(s)
+	if err != nil {
+		return nil, fmt.Errorf("%q is neither a prefix nor an address", s)
+	}
+	for i := range targets {
+		if targets[i].Prefix.Contains(addr) {
+			return &targets[i], nil
+		}
+	}
+	return nil, fmt.Errorf("address %s not covered by any hitlist prefix", addr)
+}

@@ -1,0 +1,75 @@
+// Quickstart: run one daily LACeS census end to end on a small simulated
+// Internet and print what the public repository would publish — the 𝒢
+// (GCD-confirmed) and ℳ (anycast-based only) split, plus a few confirmed
+// prefixes with their enumerated and geolocated sites.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	laces "github.com/laces-project/laces"
+)
+
+func main() {
+	// 1. A simulated Internet: ~10k IPv4 /24s with the full anycast
+	// landscape (hypergiants, regional ccTLD deployments, temporary
+	// anycast, global-BGP unicast, ...).
+	world, err := laces.NewWorld(laces.TestConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. The measurement platform: the 32-site TANGLED anycast testbed
+	// for the anycast-based stage, Ark for latency confirmation.
+	deployment, err := laces.Tangled(world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pipeline, err := laces.NewPipeline(world, laces.PipelineConfig{
+		Deployment: deployment,
+		GCDVPs:     laces.ArkVPs(world),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. One census day.
+	start := time.Now()
+	census, err := pipeline.RunDaily(0, false, laces.DayOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("LACeS daily census, %s (day 0)\n", census.Day.Format(time.DateOnly))
+	fmt.Printf("  hitlist:                %d responsive /24s\n", census.HitlistSize)
+	fmt.Printf("  anycast candidates:     %d\n", len(census.Candidates()))
+	fmt.Printf("  GCD-confirmed (G):      %d\n", len(census.G()))
+	fmt.Printf("  anycast-based only (M): %d\n", len(census.M()))
+	fmt.Printf("  probing cost:           %d anycast-stage + %d GCD-stage probes\n",
+		census.ProbesAnycastStage, census.ProbesGCDStage)
+	fmt.Printf("  wall clock:             %.2fs\n\n", time.Since(start).Seconds())
+
+	fmt.Println("Sample of GCD-confirmed prefixes:")
+	shown := 0
+	for _, id := range census.G() {
+		e := census.Entries[id]
+		if e.GCDSites < 3 {
+			continue
+		}
+		fmt.Printf("  %-18s AS%-6d %2d sites  %v\n", e.Prefix, e.Origin, e.GCDSites, head(e.GCDCities, 4))
+		shown++
+		if shown == 8 {
+			break
+		}
+	}
+}
+
+// head returns the first n elements.
+func head(s []string, n int) []string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

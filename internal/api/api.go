@@ -1,0 +1,305 @@
+// Package api implements the community-facing HTTP API the paper names as
+// future work (§9: "provide an API to the community for live measurement
+// of anycast"). It serves daily census documents and accepts on-demand
+// live measurements of individual prefixes: an anycast-based probe round
+// plus a GCD confirmation, returning both classifications independently
+// (R1's confidence-through-independence, applied to a single prefix).
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/netip"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/gcdmeas"
+	"github.com/laces-project/laces/internal/hitlist"
+	"github.com/laces-project/laces/internal/manycast"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// Server exposes census data and live measurements over HTTP.
+type Server struct {
+	World      *netsim.World
+	Deployment *netsim.Deployment
+	GCDVPs     func(day int, v6 bool) ([]netsim.VP, error)
+	// Clock returns the "current" census day for live measurements.
+	Clock func() int
+
+	mu       sync.Mutex
+	pipeline *core.Pipeline
+	censuses map[censusKey]*core.DailyCensus
+	byPrefix map[censusKey]map[netip.Prefix]int
+}
+
+type censusKey struct {
+	day int
+	v6  bool
+}
+
+// NewServer validates dependencies and returns a Server.
+func NewServer(w *netsim.World, d *netsim.Deployment, gcdVPs func(int, bool) ([]netsim.VP, error), clock func() int) (*Server, error) {
+	if w == nil || d == nil || gcdVPs == nil {
+		return nil, fmt.Errorf("api: world, deployment and GCD VP source are required")
+	}
+	if clock == nil {
+		clock = func() int { return 0 }
+	}
+	p, err := core.NewPipeline(w, core.Config{Deployment: d, GCDVPs: gcdVPs})
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		World:      w,
+		Deployment: d,
+		GCDVPs:     gcdVPs,
+		Clock:      clock,
+		pipeline:   p,
+		censuses:   make(map[censusKey]*core.DailyCensus),
+		byPrefix:   make(map[censusKey]map[netip.Prefix]int),
+	}, nil
+}
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/census", s.handleCensus)
+	mux.HandleFunc("GET /v1/prefix/{prefix...}", s.handlePrefix)
+	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// census returns (building and caching on demand) the census for a day.
+func (s *Server) census(day int, v6 bool) (*core.DailyCensus, map[netip.Prefix]int, error) {
+	key := censusKey{day, v6}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if c, ok := s.censuses[key]; ok {
+		return c, s.byPrefix[key], nil
+	}
+	c, err := s.pipeline.RunDaily(day, v6, core.DayOptions{})
+	if err != nil {
+		return nil, nil, err
+	}
+	idx := make(map[netip.Prefix]int, len(c.Entries))
+	for id, e := range c.Entries {
+		idx[e.Prefix] = id
+	}
+	s.censuses[key] = c
+	s.byPrefix[key] = idx
+	return c, idx, nil
+}
+
+// parseDayFamily extracts ?day= and ?family= query parameters.
+func (s *Server) parseDayFamily(r *http.Request) (int, bool, error) {
+	day := s.Clock()
+	if v := r.URL.Query().Get("day"); v != "" {
+		d, err := strconv.Atoi(v)
+		if err != nil || d < 0 {
+			return 0, false, fmt.Errorf("invalid day %q", v)
+		}
+		day = d
+	}
+	v6 := false
+	switch fam := r.URL.Query().Get("family"); fam {
+	case "", "ipv4":
+	case "ipv6":
+		v6 = true
+	default:
+		return 0, false, fmt.Errorf("invalid family %q (ipv4, ipv6)", fam)
+	}
+	return day, v6, nil
+}
+
+// handleCensus serves the full daily census document.
+func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
+	day, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	c, _, err := s.census(day, v6)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	if err := c.WriteJSON(w); err != nil {
+		// Headers already sent; nothing more to do.
+		return
+	}
+}
+
+// prefixView is the JSON document for one prefix lookup.
+type prefixView struct {
+	Prefix       string   `json:"prefix"`
+	Day          int      `json:"day"`
+	InCensus     bool     `json:"in_census"`
+	AnycastBased bool     `json:"anycast_based"`
+	GCDAnycast   bool     `json:"gcd_anycast"`
+	GCDSites     int      `json:"gcd_sites,omitempty"`
+	GCDCities    []string `json:"gcd_cities,omitempty"`
+}
+
+// handlePrefix serves a single census row.
+func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
+	day, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	prefix, err := netip.ParsePrefix(r.PathValue("prefix"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
+		return
+	}
+	c, idx, err := s.census(day, v6)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	view := prefixView{Prefix: prefix.String(), Day: day}
+	if id, ok := idx[prefix]; ok {
+		e := c.Entries[id]
+		view.InCensus = true
+		view.AnycastBased = e.IsCandidate()
+		view.GCDAnycast = e.GCDAnycast
+		view.GCDSites = e.GCDSites
+		view.GCDCities = e.GCDCities
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// measureRequest is the on-demand measurement body.
+type measureRequest struct {
+	Prefix string `json:"prefix"`
+}
+
+// measureResponse carries both methodologies' live verdicts.
+type measureResponse struct {
+	Prefix        string   `json:"prefix"`
+	Day           int      `json:"day"`
+	Responsive    bool     `json:"responsive"`
+	ReceivingVPs  int      `json:"anycast_based_vps"`
+	AnycastBased  bool     `json:"anycast_based"`
+	GCDAnycast    bool     `json:"gcd_anycast"`
+	GCDSites      int      `json:"gcd_sites,omitempty"`
+	GCDCities     []string `json:"gcd_cities,omitempty"`
+	ProbesSpent   int64    `json:"probes_spent"`
+	MeasurementMS int64    `json:"measurement_ms"`
+}
+
+// handleMeasure runs a live single-prefix measurement: one synchronized
+// anycast-based round plus a GCD confirmation.
+func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
+	var req measureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid body: %w", err))
+		return
+	}
+	prefix, err := netip.ParsePrefix(req.Prefix)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
+		return
+	}
+	v6 := prefix.Addr().Is6() && !prefix.Addr().Is4In6()
+	day := s.Clock()
+	started := time.Now()
+
+	// Locate the target.
+	var target *netsim.Target
+	targets := s.World.Targets(v6)
+	for i := range targets {
+		if targets[i].Prefix == prefix {
+			target = &targets[i]
+			break
+		}
+	}
+	resp := measureResponse{Prefix: prefix.String(), Day: day}
+	if target == nil {
+		writeJSON(w, http.StatusOK, resp) // unknown prefix: unresponsive
+		return
+	}
+
+	// Anycast-based round over a single-entry hitlist.
+	hl := &hitlist.Hitlist{V6: v6, Day: day, Entries: []hitlist.Entry{{
+		TargetID:  target.ID,
+		Prefix:    target.Prefix,
+		Addr:      target.Addr,
+		Protocols: target.Responsive,
+	}}}
+	proto := packet.ICMP
+	if !target.Responsive[packet.ICMP] {
+		switch {
+		case target.Responsive[packet.TCP]:
+			proto = packet.TCP
+		case target.Responsive[packet.DNS]:
+			proto = packet.DNS
+		}
+	}
+	res, err := manycast.Run(s.World, s.Deployment, hl, manycast.Options{
+		Protocol:      proto,
+		Start:         netsim.DayTime(day).Add(12 * time.Hour),
+		Offset:        time.Second,
+		MeasurementID: uint16(day) ^ 0xa91,
+	})
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	resp.ProbesSpent += res.ProbesSent
+	for _, obs := range res.Observations {
+		resp.Responsive = true
+		resp.ReceivingVPs = obs.NumReceivers()
+		resp.AnycastBased = obs.IsCandidate()
+	}
+
+	// GCD confirmation (ICMP or TCP only, §4.3).
+	if target.Responsive[packet.ICMP] || target.Responsive[packet.TCP] {
+		gcdProto := packet.ICMP
+		if !target.Responsive[packet.ICMP] {
+			gcdProto = packet.TCP
+		}
+		vps, err := s.GCDVPs(day, v6)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		rep := gcdmeas.Run(s.World, []int{target.ID}, v6, gcdmeas.Campaign{
+			VPs:   vps,
+			Proto: gcdProto,
+			At:    netsim.DayTime(day).Add(13 * time.Hour),
+		})
+		resp.ProbesSpent += rep.ProbesSent
+		if o, ok := rep.Outcomes[target.ID]; ok {
+			resp.GCDAnycast = o.Result.Anycast
+			if o.Result.Anycast {
+				resp.GCDSites = o.Result.NumSites()
+				for _, site := range o.Result.Sites {
+					resp.GCDCities = append(resp.GCDCities, site.City.Name)
+				}
+			}
+		}
+	}
+	resp.MeasurementMS = time.Since(started).Milliseconds()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

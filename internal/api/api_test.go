@@ -1,0 +1,203 @@
+package api
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/platform"
+)
+
+var (
+	testWorld  = mustWorld()
+	testServer = mustServer()
+)
+
+func mustWorld() *netsim.World {
+	cfg := netsim.TestConfig()
+	cfg.V4Targets = 4000
+	cfg.V6Targets = 1200
+	cfg.NumASes = 200
+	w, err := netsim.New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func mustServer() *httptest.Server {
+	d, err := platform.Tangled(testWorld, netsim.PolicyUnmodified)
+	if err != nil {
+		panic(err)
+	}
+	s, err := NewServer(testWorld, d,
+		func(day int, v6 bool) ([]netsim.VP, error) { return platform.Ark(testWorld, day, v6) },
+		func() int { return 42 })
+	if err != nil {
+		panic(err)
+	}
+	return httptest.NewServer(s.Handler())
+}
+
+func get(t *testing.T, path string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Get(testServer.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, doc
+}
+
+func TestHealthz(t *testing.T) {
+	code, doc := get(t, "/v1/healthz")
+	if code != http.StatusOK || doc["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, doc)
+	}
+}
+
+func TestCensusEndpoint(t *testing.T) {
+	code, doc := get(t, "/v1/census?day=42")
+	if code != http.StatusOK {
+		t.Fatalf("census status %d", code)
+	}
+	if doc["family"] != "ipv4" {
+		t.Fatalf("family = %v", doc["family"])
+	}
+	if doc["gcd_confirmed"].(float64) <= 0 {
+		t.Fatal("census has no confirmed prefixes")
+	}
+	entries := doc["entries"].([]any)
+	if len(entries) == 0 {
+		t.Fatal("census has no entries")
+	}
+}
+
+func TestCensusValidation(t *testing.T) {
+	if code, _ := get(t, "/v1/census?day=zzz"); code != http.StatusBadRequest {
+		t.Fatalf("bad day accepted: %d", code)
+	}
+	if code, _ := get(t, "/v1/census?family=ipx"); code != http.StatusBadRequest {
+		t.Fatalf("bad family accepted: %d", code)
+	}
+}
+
+// anycastPrefix returns a wide, ICMP-responsive anycast prefix.
+func anycastPrefix(t *testing.T) *netsim.Target {
+	t.Helper()
+	for i := range testWorld.TargetsV4 {
+		tg := &testWorld.TargetsV4[i]
+		if tg.Kind == netsim.Anycast && len(tg.Sites) >= 20 &&
+			tg.AnycastBornDay == 0 && tg.Responsive[packet.ICMP] {
+			return tg
+		}
+	}
+	t.Fatal("no anycast prefix")
+	return nil
+}
+
+func TestPrefixLookup(t *testing.T) {
+	tg := anycastPrefix(t)
+	code, doc := get(t, "/v1/prefix/"+tg.Prefix.String())
+	if code != http.StatusOK {
+		t.Fatalf("prefix status %d", code)
+	}
+	if doc["in_census"] != true || doc["gcd_anycast"] != true {
+		t.Fatalf("anycast prefix lookup: %v", doc)
+	}
+	if doc["gcd_sites"].(float64) < 2 {
+		t.Fatalf("gcd_sites = %v", doc["gcd_sites"])
+	}
+}
+
+func TestPrefixLookupUnicast(t *testing.T) {
+	// A clean unicast prefix is not in the census at all.
+	for i := range testWorld.TargetsV4 {
+		tg := &testWorld.TargetsV4[i]
+		if tg.Kind != netsim.Unicast || len(tg.TempWindows) > 0 {
+			continue
+		}
+		if a, ok := testWorld.ASByNumber(tg.Origin); !ok || a.TieSplit || a.Wobbly || a.Drifty {
+			continue
+		}
+		code, doc := get(t, "/v1/prefix/"+tg.Prefix.String())
+		if code != http.StatusOK {
+			t.Fatalf("status %d", code)
+		}
+		if doc["in_census"] == true {
+			t.Fatalf("clean unicast prefix in census: %v", doc)
+		}
+		return
+	}
+	t.Fatal("no clean unicast prefix")
+}
+
+func TestPrefixValidation(t *testing.T) {
+	if code, _ := get(t, "/v1/prefix/not-a-prefix"); code != http.StatusBadRequest {
+		t.Fatalf("bad prefix accepted: %d", code)
+	}
+}
+
+func postMeasure(t *testing.T, body string) (int, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(testServer.URL+"/v1/measure", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, doc
+}
+
+func TestLiveMeasurementAnycast(t *testing.T) {
+	tg := anycastPrefix(t)
+	code, doc := postMeasure(t, `{"prefix":"`+tg.Prefix.String()+`"}`)
+	if code != http.StatusOK {
+		t.Fatalf("measure status %d: %v", code, doc)
+	}
+	if doc["responsive"] != true {
+		t.Fatalf("target unresponsive: %v", doc)
+	}
+	if doc["anycast_based"] != true || doc["gcd_anycast"] != true {
+		t.Fatalf("live measurement missed anycast: %v", doc)
+	}
+	if doc["probes_spent"].(float64) <= 0 {
+		t.Fatal("no probing cost accounted")
+	}
+}
+
+func TestLiveMeasurementUnknownPrefix(t *testing.T) {
+	code, doc := postMeasure(t, `{"prefix":"203.0.113.0/24"}`)
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if doc["responsive"] == true {
+		t.Fatal("unknown prefix reported responsive")
+	}
+}
+
+func TestLiveMeasurementValidation(t *testing.T) {
+	if code, _ := postMeasure(t, `{"prefix":"banana"}`); code != http.StatusBadRequest {
+		t.Fatalf("bad prefix accepted: %d", code)
+	}
+	if code, _ := postMeasure(t, `{`); code != http.StatusBadRequest {
+		t.Fatalf("bad JSON accepted: %d", code)
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := NewServer(nil, nil, nil, nil); err == nil {
+		t.Fatal("nil dependencies accepted")
+	}
+}

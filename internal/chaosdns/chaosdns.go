@@ -1,0 +1,92 @@
+// Package chaosdns implements the CHAOS TXT census of Appendix C: querying
+// nameservers for their RFC 4892 identity (id.server/TXT/CH) from every
+// worker of the anycast deployment, counting distinct records as a
+// (weak) anycast indicator and enumeration baseline.
+//
+// The paper's conclusions reproduce here: CHAOS records over-count sites
+// for load-balanced co-located servers ("auth1"/"auth2"), under-cover
+// because many nameservers do not implement CHAOS, and yet provide a
+// useful side-by-side enumeration comparison (Fig 12).
+package chaosdns
+
+import (
+	"time"
+
+	"github.com/laces-project/laces/internal/hitlist"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// Observation is the CHAOS census output for one nameserver.
+type Observation struct {
+	TargetID int
+	// Supported is false when the target does not answer CHAOS queries
+	// (RFC 4892 is optional).
+	Supported bool
+	// Records is the set of distinct TXT values observed across workers.
+	Records map[string]bool
+}
+
+// UniqueRecords returns the number of distinct identity strings.
+func (o Observation) UniqueRecords() int { return len(o.Records) }
+
+// MultiRecord reports whether the target returned more than one distinct
+// record — the naive CHAOS anycast indicator, confounded by co-located
+// servers.
+func (o Observation) MultiRecord() bool { return len(o.Records) > 1 }
+
+// Census queries every DNS-responsive hitlist entry from every worker of
+// the deployment and collects the identity records.
+func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time) map[int]Observation {
+	out := make(map[int]Observation)
+	targets := w.Targets(hl.V6)
+	for _, e := range hl.FilterProtocol(packet.DNS) {
+		tg := &targets[e.TargetID]
+		obs := Observation{TargetID: e.TargetID, Records: make(map[string]bool)}
+		for wk := 0; wk < d.NumSites(); wk++ {
+			ctx := netsim.ProbeCtx{
+				At:   at.Add(time.Duration(wk) * time.Second),
+				Flow: netsim.FlowKey{Proto: packet.DNS, StaticFlow: 0xc4, VaryingPayload: uint64(wk + 1)},
+				Gap:  time.Second,
+				Seq:  uint64(e.TargetID),
+			}
+			del, ok := w.ProbeAnycast(d, wk, tg, ctx)
+			if !ok {
+				continue
+			}
+			// Each query observes the record of the site (or co-located
+			// server) that answered it.
+			rec, ok := w.ChaosRecord(tg, del.SiteIdx, uint64(e.TargetID)*64+uint64(wk))
+			if !ok {
+				continue
+			}
+			obs.Supported = true
+			obs.Records[rec] = true
+		}
+		out[e.TargetID] = obs
+	}
+	return out
+}
+
+// Stats summarises a CHAOS census the way Appendix C reports it.
+type Stats struct {
+	Probed      int // nameservers probed
+	Unsupported int // no CHAOS support
+	MultiRecord int // returned multiple distinct records
+}
+
+// Summarize computes census statistics.
+func Summarize(census map[int]Observation) Stats {
+	var s Stats
+	for _, o := range census {
+		s.Probed++
+		if !o.Supported {
+			s.Unsupported++
+			continue
+		}
+		if o.MultiRecord() {
+			s.MultiRecord++
+		}
+	}
+	return s
+}

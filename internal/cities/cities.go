@@ -1,0 +1,202 @@
+// Package cities embeds a world-city database used for two purposes:
+//
+//   - geolocation: iGreedy infers an anycast site's location as the highest
+//     populated city inside the intersection area of the measurement discs
+//     (§2.1 of the paper);
+//   - world building: the network simulator places vantage points, anycast
+//     sites and probed hosts at real city locations so that latency and
+//     catchment behaviour is geographically plausible.
+//
+// Populations are metropolitan-area estimates; exact values are irrelevant —
+// only the ordering matters for geolocation.
+package cities
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/laces-project/laces/internal/geo"
+)
+
+// Continent identifies one of the six populated continents, matching the
+// paper's deployment descriptions ("19 countries on 6 continents").
+type Continent uint8
+
+// Continent values.
+const (
+	NorthAmerica Continent = iota
+	SouthAmerica
+	Europe
+	Africa
+	Asia
+	Oceania
+	numContinents
+)
+
+// String returns the two-letter continent code used in tables.
+func (c Continent) String() string {
+	switch c {
+	case NorthAmerica:
+		return "NA"
+	case SouthAmerica:
+		return "SA"
+	case Europe:
+		return "EU"
+	case Africa:
+		return "AF"
+	case Asia:
+		return "AS"
+	case Oceania:
+		return "OC"
+	default:
+		return fmt.Sprintf("Continent(%d)", uint8(c))
+	}
+}
+
+// Continents lists every continent once, in declaration order.
+func Continents() []Continent {
+	return []Continent{NorthAmerica, SouthAmerica, Europe, Africa, Asia, Oceania}
+}
+
+// City is one database entry.
+type City struct {
+	Name       string
+	Country    string // ISO 3166-1 alpha-2
+	Continent  Continent
+	Location   geo.Coordinate
+	Population int
+}
+
+// String formats the city as "Name, CC".
+func (c City) String() string { return c.Name + ", " + c.Country }
+
+// DB is a queryable set of cities. The zero value is empty; use Default for
+// the embedded database.
+type DB struct {
+	cities []City
+	byName map[string]int
+}
+
+// NewDB builds a DB from the given cities. Duplicate names keep the first
+// entry for name lookup but remain in the list.
+func NewDB(cs []City) *DB {
+	db := &DB{
+		cities: append([]City(nil), cs...),
+		byName: make(map[string]int, len(cs)),
+	}
+	for i, c := range db.cities {
+		if _, dup := db.byName[c.Name]; !dup {
+			db.byName[c.Name] = i
+		}
+	}
+	return db
+}
+
+var defaultDB = NewDB(worldCities)
+
+// Default returns the embedded world-city database.
+func Default() *DB { return defaultDB }
+
+// Len returns the number of cities in the database.
+func (db *DB) Len() int { return len(db.cities) }
+
+// All returns the backing city list. Callers must not modify it.
+func (db *DB) All() []City { return db.cities }
+
+// ByName returns the city with the given name.
+func (db *DB) ByName(name string) (City, bool) {
+	i, ok := db.byName[name]
+	if !ok {
+		return City{}, false
+	}
+	return db.cities[i], true
+}
+
+// InContinent returns all cities in the given continent ordered by
+// descending population.
+func (db *DB) InContinent(ct Continent) []City {
+	var out []City
+	for _, c := range db.cities {
+		if c.Continent == ct {
+			out = append(out, c)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Population != out[j].Population {
+			return out[i].Population > out[j].Population
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Nearest returns the city closest to p and its distance in km.
+// It returns false only for an empty database.
+func (db *DB) Nearest(p geo.Coordinate) (City, float64, bool) {
+	if len(db.cities) == 0 {
+		return City{}, 0, false
+	}
+	best := -1
+	bestD := 0.0
+	for i, c := range db.cities {
+		d := c.Location.DistanceKm(p)
+		if best == -1 || d < bestD {
+			best, bestD = i, d
+		}
+	}
+	return db.cities[best], bestD, true
+}
+
+// HighestPopulationIn returns the highest-population city inside the disc.
+// This is iGreedy's geolocation rule. ok is false when no city lies within
+// the disc; callers then typically fall back to Nearest of the disc center.
+func (db *DB) HighestPopulationIn(d geo.Disc) (City, bool) {
+	best := -1
+	for i, c := range db.cities {
+		if !d.Contains(c.Location) {
+			continue
+		}
+		if best == -1 || c.Population > db.cities[best].Population {
+			best = i
+		}
+	}
+	if best == -1 {
+		return City{}, false
+	}
+	return db.cities[best], true
+}
+
+// WithinKm returns all cities within radius km of p, ordered by distance.
+func (db *DB) WithinKm(p geo.Coordinate, radius float64) []City {
+	type cd struct {
+		c City
+		d float64
+	}
+	var hits []cd
+	for _, c := range db.cities {
+		if d := c.Location.DistanceKm(p); d <= radius {
+			hits = append(hits, cd{c, d})
+		}
+	}
+	sort.Slice(hits, func(i, j int) bool { return hits[i].d < hits[j].d })
+	out := make([]City, len(hits))
+	for i, h := range hits {
+		out[i] = h.c
+	}
+	return out
+}
+
+// VultrMetros lists the 32 Vultr data-centre metros used by the TANGLED
+// anycast testbed (§4.2.1 of the paper, "all of its 32 sites, located in
+// 19 countries on 6 continents"). Every name resolves in the default DB.
+func VultrMetros() []string {
+	return []string{
+		"Amsterdam", "Atlanta", "Bangalore", "Chicago", "Dallas",
+		"Delhi", "Frankfurt", "Honolulu", "Johannesburg", "London",
+		"Los Angeles", "Madrid", "Manchester", "Melbourne", "Mexico City",
+		"Miami", "Mumbai", "New York", "Osaka", "Paris",
+		"Sao Paulo", "Santiago", "Seattle", "Seoul", "San Jose",
+		"Singapore", "Stockholm", "Sydney", "Tel Aviv", "Tokyo",
+		"Toronto", "Warsaw",
+	}
+}

@@ -1,0 +1,146 @@
+// Package client implements the LACeS CLI component (§4.2.1): it creates
+// a measurement definition, submits it to the Orchestrator, and collects
+// the aggregated result stream into a single output — the paper's "at the
+// CLI, results are stored as a single file".
+package client
+
+import (
+	"context"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"net"
+	"net/netip"
+	"sort"
+	"strconv"
+
+	"github.com/laces-project/laces/internal/wire"
+)
+
+// Client submits measurements to an Orchestrator.
+type Client struct {
+	// Addr is the Orchestrator's TCP address.
+	Addr string
+	// Dialer allows tests to intercept connections; nil uses net.Dialer.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Outcome summarises a finished measurement.
+type Outcome struct {
+	Results []wire.Result
+	Workers int
+}
+
+// ReceiverSets groups results by target and returns the distinct receiving
+// worker set per target — the classification input of §2.2.
+func (o *Outcome) ReceiverSets() map[string]map[int]bool {
+	out := make(map[string]map[int]bool)
+	for _, r := range o.Results {
+		s, ok := out[r.Target]
+		if !ok {
+			s = make(map[int]bool)
+			out[r.Target] = s
+		}
+		s[r.RxWorker] = true
+	}
+	return out
+}
+
+// Candidates returns the targets whose replies reached two or more
+// workers.
+func (o *Outcome) Candidates() []string {
+	var out []string
+	for t, s := range o.ReceiverSets() {
+		if len(s) >= 2 {
+			out = append(out, t)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run submits the measurement and blocks until completion, invoking
+// onResult (if non-nil) per streamed result.
+func (c *Client) Run(ctx context.Context, def wire.MeasurementDef, targets []netip.Addr, onResult func(wire.Result)) (*Outcome, error) {
+	dial := c.Dialer
+	if dial == nil {
+		d := &net.Dialer{}
+		dial = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	nc, err := dial(ctx, c.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: dialing orchestrator: %w", err)
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := conn.Write(wire.MsgHello, wire.Hello{Role: "cli", Name: "laces-cli"}); err != nil {
+		return nil, err
+	}
+	req := wire.Run{Def: def}
+	for _, a := range targets {
+		req.Targets = append(req.Targets, a.String())
+	}
+	if err := conn.Write(wire.MsgRun, req); err != nil {
+		return nil, err
+	}
+
+	out := &Outcome{}
+	for {
+		typ, raw, err := conn.Read()
+		if err != nil {
+			return nil, fmt.Errorf("client: reading results: %w", err)
+		}
+		switch typ {
+		case wire.MsgResult:
+			res, err := wire.Decode[wire.Result](raw)
+			if err != nil {
+				return nil, err
+			}
+			out.Results = append(out.Results, res)
+			if onResult != nil {
+				onResult(res)
+			}
+		case wire.MsgComplete:
+			comp, err := wire.Decode[wire.Complete](raw)
+			if err != nil {
+				return nil, err
+			}
+			out.Workers = comp.Workers
+			return out, nil
+		case wire.MsgError:
+			em, _ := wire.Decode[wire.ErrorMsg](raw)
+			return nil, fmt.Errorf("client: orchestrator error: %s", em.Text)
+		default:
+			return nil, fmt.Errorf("client: unexpected frame %v", typ)
+		}
+	}
+}
+
+// WriteCSV stores the outcome as the single result file of §4.2.2.
+func (o *Outcome) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"target", "tx_worker", "rx_worker", "rtt_us"}); err != nil {
+		return err
+	}
+	for _, r := range o.Results {
+		rec := []string{r.Target, strconv.Itoa(r.TxWorker), strconv.Itoa(r.RxWorker),
+			strconv.FormatInt(r.RTTMicros, 10)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

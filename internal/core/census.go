@@ -1,0 +1,473 @@
+// Package core implements the LACeS census pipeline — the paper's primary
+// contribution (§4.3, Fig 3):
+//
+//	hitlist ──anycast-based (TANGLED)──► ACs ∪ feedback ──GCD (Ark)──► 𝒢 / ℳ
+//
+// Daily, the anycast-based stage probes the full hitlist per protocol and
+// yields anycast candidates (ACs). The candidate list is extended with the
+// feedback loop (prefixes confirmed by periodic full-hitlist GCD_LS sweeps
+// and previous daily runs) so anycast-based false negatives stay covered.
+// A follow-up latency measurement towards only the candidates confirms
+// anycast with GCD, enumerates and geolocates sites, and splits the census
+// into 𝒢 (GCD-confirmed) and ℳ (anycast-based only).
+package core
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"time"
+
+	"github.com/laces-project/laces/internal/chaosdns"
+	"github.com/laces-project/laces/internal/gcdmeas"
+	"github.com/laces-project/laces/internal/hitlist"
+	"github.com/laces-project/laces/internal/igreedy"
+	"github.com/laces-project/laces/internal/manycast"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/traceroute"
+)
+
+// Entry is one census row: everything LACeS publishes about a prefix on
+// one day (§4.4).
+type Entry struct {
+	TargetID int
+	Prefix   netip.Prefix
+	Origin   netsim.ASN
+
+	// ACProtocols flags the protocols whose anycast-based measurement
+	// classified the prefix as a candidate.
+	ACProtocols [3]bool
+	// MaxReceivers is the largest receiving-VP count across protocols —
+	// the census publishes it as a confidence signal (Table 2: counts of
+	// 2 are unreliable).
+	MaxReceivers int
+	// FromFeedback marks prefixes injected by the feedback loop rather
+	// than detected by today's anycast-based stage.
+	FromFeedback bool
+
+	// GCDMeasured is true when the latency stage probed the prefix.
+	GCDMeasured bool
+	// GCDAnycast is the latency-based verdict (membership in 𝒢).
+	GCDAnycast bool
+	// GCDSites is the enumerated site count (a lower bound, §2.1).
+	GCDSites int
+	// GCDCities are the geolocated site cities (iGreedy's
+	// highest-population rule).
+	GCDCities []string
+	// GCDVPs is the number of VPs that returned samples; published
+	// because enumeration quality depends on it (§4.4).
+	GCDVPs int
+	// GCDProto is the protocol the latency stage used (ICMP, or TCP for
+	// ICMP-unresponsive candidates); meaningful when GCDMeasured.
+	GCDProto packet.Protocol
+
+	// PartialAnycast is set by the periodic GCD_IPv4 /32 sweep when the
+	// prefix holds both unicast and anycast addresses (§5.7).
+	PartialAnycast bool
+
+	// GlobalBGP marks ℳ prefixes whose traceroute screening shows the
+	// §5.1.3 signature: forward paths ingress the origin network at two
+	// or more PoPs yet terminate at a single server — a globally
+	// announced, internally unicast prefix (the paper's Microsoft case;
+	// publishing the flag is its stated future work).
+	GlobalBGP bool
+
+	// ChaosRecords holds the distinct RFC 4892 identity strings collected
+	// from DNS-responsive prefixes when the pipeline's CHAOS census is
+	// enabled (§8: "we intend on including it in our daily scanning as it
+	// provides insightful information for nameservers").
+	ChaosRecords []string
+}
+
+// IsCandidate reports whether any protocol's anycast-based stage flagged
+// the prefix.
+func (e *Entry) IsCandidate() bool {
+	return e.ACProtocols[0] || e.ACProtocols[1] || e.ACProtocols[2]
+}
+
+// InG reports membership in 𝒢: GCD-confirmed anycast.
+func (e *Entry) InG() bool { return e.GCDAnycast }
+
+// InM reports membership in ℳ: anycast-based candidates not confirmed by
+// GCD.
+func (e *Entry) InM() bool { return e.IsCandidate() && !e.GCDAnycast }
+
+// DailyCensus is the output of one census day for one address family.
+type DailyCensus struct {
+	Day time.Time
+	// DayIndex is the census day number.
+	DayIndex int
+	V6       bool
+
+	HitlistSize int
+	Workers     int
+
+	// Entries is keyed by target ID and holds every prefix that is an AC,
+	// fed back, or GCD-measured today.
+	Entries map[int]*Entry
+
+	// ReceiverHist buckets today's candidates per protocol by receiving
+	// VP count.
+	ReceiverHist map[packet.Protocol]map[int]int
+
+	// Cost accounting (R3).
+	ProbesAnycastStage    int64
+	ProbesGCDStage        int64
+	ProbesTracerouteStage int64
+
+	Alerts []Alert
+}
+
+// G returns the sorted target IDs in 𝒢.
+func (c *DailyCensus) G() []int { return c.filter(func(e *Entry) bool { return e.InG() }) }
+
+// M returns the sorted target IDs in ℳ.
+func (c *DailyCensus) M() []int { return c.filter(func(e *Entry) bool { return e.InM() }) }
+
+// Candidates returns the sorted IDs of today's anycast candidates.
+func (c *DailyCensus) Candidates() []int {
+	return c.filter(func(e *Entry) bool { return e.IsCandidate() })
+}
+
+// CandidatesFor returns the sorted IDs of candidates detected with one
+// protocol.
+func (c *DailyCensus) CandidatesFor(p packet.Protocol) []int {
+	return c.filter(func(e *Entry) bool { return e.ACProtocols[p] })
+}
+
+func (c *DailyCensus) filter(keep func(*Entry) bool) []int {
+	var out []int
+	for id, e := range c.Entries {
+		if keep(e) {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Config parameterises a Pipeline.
+type Config struct {
+	// Deployment runs the anycast-based stage (TANGLED in the paper).
+	Deployment *netsim.Deployment
+	// GCDVPs supplies the latency-stage VP pool for a census day (Ark,
+	// which grows over time).
+	GCDVPs func(day int, v6 bool) ([]netsim.VP, error)
+	// Protocols probed by the anycast-based stage; default ICMP+TCP+DNS.
+	Protocols []packet.Protocol
+	// Offset is the inter-worker probe spacing (default 1 s).
+	Offset time.Duration
+	// Rate is the hitlist rate (targets/s; default manycast.DefaultRate).
+	Rate float64
+	// GCDAttempts per VP (default 1).
+	GCDAttempts int
+	// AccumulateDailyG keeps feeding confirmed prefixes back into the
+	// candidate list (the Fig 3 purple arrow). Default true (disable only
+	// for ablation).
+	NoDailyFeedback bool
+	// IncludeChaos adds a CHAOS TXT identity census over DNS-responsive
+	// census prefixes (§8 extension; App C shows the records are a weak
+	// anycast indicator but a useful nameserver annotation).
+	IncludeChaos bool
+	// ConfirmGlobalBGP adds a traceroute screening stage over ℳ: prefixes
+	// whose paths ingress at multiple PoPs but terminate at one server
+	// are published with the GlobalBGP flag (§5.1.3 future work).
+	ConfirmGlobalBGP bool
+	// GlobalBGPVPs caps the traceroute vantage points drawn from the GCD
+	// pool (default 12 — the paper's manual confirmation used a handful).
+	GlobalBGPVPs int
+}
+
+// DayOptions injects per-day conditions (failure modelling, §7).
+type DayOptions struct {
+	// MissingWorkers marks deployment sites disconnected today (the
+	// pre-July-2025 worker-loss events visible in Fig 9).
+	MissingWorkers map[int]bool
+	// DNSBroken models the Sep–Dec 2024 tooling bug that flagged all DNS
+	// replies invalid: DNS results are discarded.
+	DNSBroken bool
+}
+
+// Pipeline runs daily censuses and maintains the feedback loop.
+type Pipeline struct {
+	World *netsim.World
+	Cfg   Config
+
+	feedback [2]map[int]bool // [v4, v6] fed-back target IDs
+	baseline [2][]int        // trailing 𝒢 sizes for monitoring
+}
+
+// NewPipeline validates the configuration and prepares a pipeline.
+func NewPipeline(w *netsim.World, cfg Config) (*Pipeline, error) {
+	if cfg.Deployment == nil {
+		return nil, fmt.Errorf("core: config needs a deployment")
+	}
+	if cfg.GCDVPs == nil {
+		return nil, fmt.Errorf("core: config needs a GCD VP source")
+	}
+	if len(cfg.Protocols) == 0 {
+		cfg.Protocols = packet.Protocols()
+	}
+	if cfg.Offset == 0 {
+		cfg.Offset = time.Second
+	}
+	p := &Pipeline{World: w, Cfg: cfg}
+	p.feedback[0] = make(map[int]bool)
+	p.feedback[1] = make(map[int]bool)
+	return p, nil
+}
+
+func famIdx(v6 bool) int {
+	if v6 {
+		return 1
+	}
+	return 0
+}
+
+// SeedFeedback injects prefixes into the feedback loop — typically the
+// result of a GCD_LS sweep (§5.1.1) or operator ground truth.
+func (p *Pipeline) SeedFeedback(v6 bool, ids []int) {
+	for _, id := range ids {
+		p.feedback[famIdx(v6)][id] = true
+	}
+}
+
+// FeedbackSize returns the current feedback-list length.
+func (p *Pipeline) FeedbackSize(v6 bool) int { return len(p.feedback[famIdx(v6)]) }
+
+// RunDaily executes the full pipeline for one census day and family.
+func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus, error) {
+	w := p.World
+	hl := hitlist.ForDay(w, v6, day)
+	start := netsim.DayTime(day)
+
+	census := &DailyCensus{
+		Day:          start,
+		DayIndex:     day,
+		V6:           v6,
+		HitlistSize:  hl.Len(),
+		Workers:      p.Cfg.Deployment.NumSites() - len(dayOpts.MissingWorkers),
+		Entries:      make(map[int]*Entry),
+		ReceiverHist: make(map[packet.Protocol]map[int]int),
+	}
+
+	// Stage 1: anycast-based measurement, one run per protocol (§4.2).
+	base := manycast.Options{
+		Start:          start,
+		Offset:         p.Cfg.Offset,
+		Rate:           p.Cfg.Rate,
+		MeasurementID:  uint16(day),
+		MissingWorkers: dayOpts.MissingWorkers,
+	}
+	results, err := manycast.MultiProtocol(w, p.Cfg.Deployment, hl, base, p.Cfg.Protocols)
+	if err != nil {
+		return nil, fmt.Errorf("core: anycast-based stage: %w", err)
+	}
+	targets := w.Targets(v6)
+	for proto, res := range results {
+		census.ProbesAnycastStage += res.ProbesSent
+		if proto == packet.DNS && dayOpts.DNSBroken {
+			// The tooling bug: replies collected but all flagged invalid.
+			census.ReceiverHist[proto] = map[int]int{}
+			continue
+		}
+		census.ReceiverHist[proto] = res.ReceiverHistogram()
+		for _, obs := range res.Observations {
+			if !obs.IsCandidate() {
+				continue
+			}
+			e := census.entry(&targets[obs.TargetID])
+			e.ACProtocols[proto] = true
+			if n := obs.NumReceivers(); n > e.MaxReceivers {
+				e.MaxReceivers = n
+			}
+		}
+	}
+
+	// Stage 2: feedback loop — cover anycast-based FNs (§4.3).
+	for id := range p.feedback[famIdx(v6)] {
+		if id < 0 || id >= len(targets) {
+			continue
+		}
+		tg := &targets[id]
+		if tg.HitlistFromDay > hitlist.QuarterOf(day) {
+			continue
+		}
+		if _, ok := census.Entries[id]; !ok {
+			census.entry(tg).FromFeedback = true
+		}
+	}
+
+	// Stage 3: GCD towards candidates only — two orders of magnitude
+	// cheaper than a full-hitlist GCD (§4.3). ICMP first; TCP mops up
+	// ICMP-unresponsive candidates. DNS is excluded (processing jitter).
+	vps, err := p.Cfg.GCDVPs(day, v6)
+	if err != nil {
+		return nil, fmt.Errorf("core: GCD VP pool: %w", err)
+	}
+	var icmpIDs, tcpIDs []int
+	for id := range census.Entries {
+		tg := &targets[id]
+		switch {
+		case tg.Responsive[packet.ICMP]:
+			icmpIDs = append(icmpIDs, id)
+		case tg.Responsive[packet.TCP]:
+			tcpIDs = append(tcpIDs, id)
+		}
+	}
+	for _, part := range []struct {
+		proto packet.Protocol
+		ids   []int
+	}{{packet.ICMP, icmpIDs}, {packet.TCP, tcpIDs}} {
+		if len(part.ids) == 0 {
+			continue
+		}
+		rep := gcdmeas.Run(w, part.ids, v6, gcdmeas.Campaign{
+			VPs:      vps,
+			Proto:    part.proto,
+			At:       start.Add(6 * time.Hour),
+			Attempts: p.Cfg.GCDAttempts,
+			Analysis: igreedy.Options{},
+		})
+		census.ProbesGCDStage += rep.ProbesSent
+		for id, out := range rep.Outcomes {
+			e := census.Entries[id]
+			e.GCDMeasured = true
+			e.GCDProto = part.proto
+			e.GCDVPs = out.VPs
+			e.GCDAnycast = out.Result.Anycast
+			if out.Result.Anycast {
+				e.GCDSites = out.Result.NumSites()
+				for _, s := range out.Result.Sites {
+					e.GCDCities = append(e.GCDCities, s.City.Name)
+				}
+			}
+		}
+	}
+
+	// Maintain the feedback loop with today's confirmations.
+	if !p.Cfg.NoDailyFeedback {
+		for id, e := range census.Entries {
+			if e.GCDAnycast {
+				p.feedback[famIdx(v6)][id] = true
+			}
+		}
+	}
+
+	// Optional stage 4: CHAOS identity annotation (§8 extension).
+	if p.Cfg.IncludeChaos {
+		p.annotateChaos(census, hl, start)
+	}
+
+	// Optional stage 5: traceroute screening of ℳ for global-BGP unicast
+	// (§5.1.3 future work). Only multi-receiver candidates that GCD
+	// measured and judged unicast are worth tracing.
+	if p.Cfg.ConfirmGlobalBGP {
+		if err := p.screenGlobalBGP(census, vps, start.Add(12*time.Hour)); err != nil {
+			return nil, fmt.Errorf("core: global-BGP screening: %w", err)
+		}
+	}
+
+	census.Alerts = p.monitor(census)
+	return census, nil
+}
+
+// screenGlobalBGP traceroutes today's ℳ entries from a spread of the GCD
+// pool's vantage points and flags the global-BGP unicast signature.
+func (p *Pipeline) screenGlobalBGP(census *DailyCensus, pool []netsim.VP, at time.Time) error {
+	limit := p.Cfg.GlobalBGPVPs
+	if limit <= 0 {
+		limit = 12
+	}
+	vps := spreadVPs(pool, limit)
+	if len(vps) == 0 {
+		return nil
+	}
+	targets := p.World.Targets(census.V6)
+	var cands []*netsim.Target
+	for id, e := range census.Entries {
+		if e.InM() && e.MaxReceivers >= 2 && e.GCDMeasured {
+			cands = append(cands, &targets[id])
+		}
+	}
+	ids, probes, err := traceroute.ConfirmGlobalBGP(p.World, vps, cands, at)
+	if err != nil {
+		return err
+	}
+	census.ProbesTracerouteStage += probes
+	for _, id := range ids {
+		census.Entries[id].GlobalBGP = true
+	}
+	return nil
+}
+
+// spreadVPs picks up to n VPs evenly spaced through the pool (the pool is
+// generated with geographic spread, so striding preserves it).
+func spreadVPs(pool []netsim.VP, n int) []netsim.VP {
+	if len(pool) <= n {
+		return pool
+	}
+	out := make([]netsim.VP, 0, n)
+	step := float64(len(pool)) / float64(n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[int(float64(i)*step)])
+	}
+	return out
+}
+
+// annotateChaos queries RFC 4892 identities for the census's
+// DNS-responsive prefixes from every deployment site and attaches the
+// distinct records to the entries.
+func (p *Pipeline) annotateChaos(census *DailyCensus, hl *hitlist.Hitlist, start time.Time) {
+	inCensus := make(map[int]bool, len(census.Entries))
+	for id := range census.Entries {
+		inCensus[id] = true
+	}
+	sub := &hitlist.Hitlist{V6: hl.V6, Day: hl.Day}
+	for _, e := range hl.Entries {
+		if inCensus[e.TargetID] && e.Protocols[packet.DNS] {
+			sub.Entries = append(sub.Entries, e)
+		}
+	}
+	if sub.Len() == 0 {
+		return
+	}
+	obs := chaosdns.Census(p.World, p.Cfg.Deployment, sub, start.Add(9*time.Hour))
+	for id, o := range obs {
+		if !o.Supported {
+			continue
+		}
+		e := census.Entries[id]
+		for rec := range o.Records {
+			e.ChaosRecords = append(e.ChaosRecords, rec)
+		}
+		sort.Strings(e.ChaosRecords)
+	}
+}
+
+// entry returns (creating if needed) the census entry for a target.
+func (c *DailyCensus) entry(tg *netsim.Target) *Entry {
+	if e, ok := c.Entries[tg.ID]; ok {
+		return e
+	}
+	e := &Entry{TargetID: tg.ID, Prefix: tg.Prefix, Origin: tg.Origin}
+	c.Entries[tg.ID] = e
+	return e
+}
+
+// ApplySweep marks partial-anycast prefixes found by a GCD_IPv4 address
+// sweep (§5.7) on the census.
+func (c *DailyCensus) ApplySweep(outcomes []gcdmeas.AddrSweepOutcome, w *netsim.World) {
+	targets := w.Targets(c.V6)
+	for _, o := range outcomes {
+		if !o.Partial() {
+			continue
+		}
+		e, ok := c.Entries[o.TargetID]
+		if !ok {
+			e = c.entry(&targets[o.TargetID])
+		}
+		e.PartialAnycast = true
+	}
+}

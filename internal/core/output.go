@@ -1,0 +1,182 @@
+package core
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DocumentEntry is the JSON schema of one census row, mirroring the
+// fields the public repository publishes (§4.4): both methodologies'
+// verdicts independently (R1: "convey confidence in results through
+// independently listing the classification for the anycast-based and GCD
+// approach"), site counts, geolocations and participating VPs.
+type DocumentEntry struct {
+	Prefix         string   `json:"prefix"`
+	OriginASN      uint32   `json:"origin_asn"`
+	ACProtocols    []string `json:"anycast_based_protocols,omitempty"`
+	MaxReceivers   int      `json:"anycast_based_vps,omitempty"`
+	FromFeedback   bool     `json:"from_feedback,omitempty"`
+	GCDMeasured    bool     `json:"gcd_measured"`
+	GCDAnycast     bool     `json:"gcd_anycast"`
+	GCDSites       int      `json:"gcd_sites,omitempty"`
+	GCDCities      []string `json:"gcd_cities,omitempty"`
+	GCDVPs         int      `json:"gcd_vps,omitempty"`
+	PartialAnycast bool     `json:"partial_anycast,omitempty"`
+	GlobalBGP      bool     `json:"global_bgp,omitempty"`
+}
+
+// InG reports membership in 𝒢 as published.
+func (e *DocumentEntry) InG() bool { return e.GCDAnycast }
+
+// InM reports membership in ℳ as published.
+func (e *DocumentEntry) InM() bool { return len(e.ACProtocols) > 0 && !e.GCDAnycast }
+
+// Document is the JSON schema of one daily census file — the unit the
+// public repository carries and downstream consumers (the dashboard, the
+// diff tool) operate on.
+type Document struct {
+	Date        string          `json:"date"`
+	Family      string          `json:"family"`
+	HitlistSize int             `json:"hitlist_size"`
+	Workers     int             `json:"workers"`
+	GCount      int             `json:"gcd_confirmed"`
+	MCount      int             `json:"anycast_based_only"`
+	Entries     []DocumentEntry `json:"entries"`
+}
+
+func protoNames(flags [3]bool) []string {
+	var out []string
+	for p, set := range flags {
+		if set {
+			switch p {
+			case 0:
+				out = append(out, "ICMP")
+			case 1:
+				out = append(out, "TCP")
+			case 2:
+				out = append(out, "DNS")
+			}
+		}
+	}
+	return out
+}
+
+// sortedEntries returns entries ordered by prefix for stable output.
+func (c *DailyCensus) sortedEntries() []*Entry {
+	out := make([]*Entry, 0, len(c.Entries))
+	for _, e := range c.Entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].Prefix.String() < out[j].Prefix.String()
+	})
+	return out
+}
+
+// Document builds the published form of the census: only anycast findings
+// are included (§4.4).
+func (c *DailyCensus) Document() *Document {
+	fam := "ipv4"
+	if c.V6 {
+		fam = "ipv6"
+	}
+	doc := &Document{
+		Date:        c.Day.Format(time.DateOnly),
+		Family:      fam,
+		HitlistSize: c.HitlistSize,
+		Workers:     c.Workers,
+		GCount:      len(c.G()),
+		MCount:      len(c.M()),
+	}
+	for _, e := range c.sortedEntries() {
+		if !e.IsCandidate() && !e.GCDAnycast && !e.PartialAnycast {
+			continue // only anycast findings are published (§4.4)
+		}
+		doc.Entries = append(doc.Entries, DocumentEntry{
+			Prefix:         e.Prefix.String(),
+			OriginASN:      uint32(e.Origin),
+			ACProtocols:    protoNames(e.ACProtocols),
+			MaxReceivers:   e.MaxReceivers,
+			FromFeedback:   e.FromFeedback,
+			GCDMeasured:    e.GCDMeasured,
+			GCDAnycast:     e.GCDAnycast,
+			GCDSites:       e.GCDSites,
+			GCDCities:      e.GCDCities,
+			GCDVPs:         e.GCDVPs,
+			PartialAnycast: e.PartialAnycast,
+			GlobalBGP:      e.GlobalBGP,
+		})
+	}
+	return doc
+}
+
+// WriteJSON publishes the census as the JSON document the public
+// repository would carry.
+func (c *DailyCensus) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Document())
+}
+
+// WriteCSV publishes the census as CSV, one row per published prefix.
+func (c *DailyCensus) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"prefix", "origin_asn", "ac_protocols", "ac_vps",
+		"from_feedback", "gcd_measured", "gcd_anycast", "gcd_sites", "gcd_cities", "gcd_vps", "partial", "global_bgp"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, e := range c.sortedEntries() {
+		if !e.IsCandidate() && !e.GCDAnycast && !e.PartialAnycast {
+			continue
+		}
+		rec := []string{
+			e.Prefix.String(),
+			strconv.FormatUint(uint64(e.Origin), 10),
+			strings.Join(protoNames(e.ACProtocols), "+"),
+			strconv.Itoa(e.MaxReceivers),
+			strconv.FormatBool(e.FromFeedback),
+			strconv.FormatBool(e.GCDMeasured),
+			strconv.FormatBool(e.GCDAnycast),
+			strconv.Itoa(e.GCDSites),
+			strings.Join(e.GCDCities, "+"),
+			strconv.Itoa(e.GCDVPs),
+			strconv.FormatBool(e.PartialAnycast),
+			strconv.FormatBool(e.GlobalBGP),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ParseDocument reads a census document previously written with WriteJSON.
+func ParseDocument(r io.Reader) (*Document, error) {
+	var doc Document
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("core: parsing census JSON: %w", err)
+	}
+	return &doc, nil
+}
+
+// ReadJSON parses a census document previously written with WriteJSON and
+// returns summary counts — a convenience wrapper over ParseDocument kept
+// for consumers that only need the headline numbers.
+func ReadJSON(r io.Reader) (date string, g, m int, prefixes []string, err error) {
+	doc, err := ParseDocument(r)
+	if err != nil {
+		return "", 0, 0, nil, err
+	}
+	for _, e := range doc.Entries {
+		prefixes = append(prefixes, e.Prefix)
+	}
+	return doc.Date, doc.GCount, doc.MCount, prefixes, nil
+}

@@ -1,0 +1,377 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/external"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/stats"
+)
+
+// ---------------------------------------------------------------------------
+// Table 1 — anycast candidates vs GCD_LS (§5.1.1)
+
+// Table1Row is one family's comparison.
+type Table1Row struct {
+	Protocol string
+	core.Compare
+}
+
+// Table1 compares the anycast-based candidates (feedback excluded) of both
+// families against the same-day GCD_LS sweep.
+func (e *Env) Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, v6 := range []bool{false, true} {
+		res, err := e.anycastRun(e.Tangled, dayTable1, v6, time.Second, 0x7a)
+		if err != nil {
+			return nil, err
+		}
+		ls, err := e.GCDLS(dayTable1, v6)
+		if err != nil {
+			return nil, err
+		}
+		name := "ICMPv4"
+		if v6 {
+			name = "ICMPv6"
+		}
+		rows = append(rows, Table1Row{Protocol: name, Compare: core.CompareACsToGCDLS(res.CandidateSet(), ls)})
+	}
+	return rows, nil
+}
+
+// RenderTable1 prints the Table 1 layout.
+func RenderTable1(w io.Writer, rows []Table1Row) error {
+	t := stats.Table{
+		Title:  "Table 1: anycast candidates (AC) vs GCD_LS",
+		Header: []string{"Protocol", "AC", "GCDLS", "AC∩GCDLS", "FNs (FNR%)", "¬GCDLS"},
+	}
+	for _, r := range rows {
+		t.Add(r.Protocol, fmtInt(r.ACs), fmtInt(r.GCDLS),
+			fmt.Sprintf("%s (%s)", fmtInt(r.Intersection), stats.Pct(r.Intersection, r.GCDLS)),
+			fmt.Sprintf("%s (%.1f%%)", fmtInt(r.FNs), 100*r.FNRate),
+			fmtInt(r.NotGCDLS))
+	}
+	return t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 2 — candidates by number of receiving VPs vs GCD (§5.1.3)
+
+// Table2Row is one receiving-VP bucket.
+type Table2Row struct {
+	Bucket     string
+	Candidates int
+	G          int // GCD-confirmed
+	M          int // not confirmed
+	OverlapPct float64
+}
+
+// table2Buckets are the paper's receiving-count bins.
+var table2Buckets = []struct {
+	lo, hi int
+	label  string
+}{
+	{2, 2, "2"}, {3, 3, "3"}, {4, 4, "4"}, {5, 5, "5"},
+	{6, 10, "6-10"}, {11, 15, "11-15"}, {16, 20, "16-20"},
+	{21, 25, "21-25"}, {26, 32, "26-32"},
+}
+
+// Table2 buckets the daily census candidates by receiving-VP count and
+// splits them into 𝒢 and ℳ.
+func (e *Env) Table2() ([]Table2Row, error) {
+	c, err := e.DailyCensus(dayTable2, false)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, len(table2Buckets))
+	for i, b := range table2Buckets {
+		rows[i].Bucket = b.label
+	}
+	for _, id := range c.Candidates() {
+		entry := c.Entries[id]
+		n := entry.MaxReceivers
+		for i, b := range table2Buckets {
+			if n >= b.lo && n <= b.hi {
+				rows[i].Candidates++
+				if entry.InG() {
+					rows[i].G++
+				} else {
+					rows[i].M++
+				}
+				break
+			}
+		}
+	}
+	for i := range rows {
+		if rows[i].Candidates > 0 {
+			rows[i].OverlapPct = 100 * float64(rows[i].G) / float64(rows[i].Candidates)
+		}
+	}
+	return rows, nil
+}
+
+// RenderTable2 prints the Table 2 layout.
+func RenderTable2(w io.Writer, rows []Table2Row) error {
+	t := stats.Table{
+		Title:  "Table 2: anycast-based ICMPv4 results per number of receiving VPs",
+		Header: []string{"# receiving", "Candidate", "G (GCD)", "M (¬GCD)", "Overlap %"},
+	}
+	var tot Table2Row
+	for _, r := range rows {
+		t.Add(r.Bucket, fmtInt(r.Candidates), fmtInt(r.G), fmtInt(r.M), fmt.Sprintf("%.2f%%", r.OverlapPct))
+		tot.Candidates += r.Candidates
+		tot.G += r.G
+		tot.M += r.M
+	}
+	pct := 0.0
+	if tot.Candidates > 0 {
+		pct = 100 * float64(tot.G) / float64(tot.Candidates)
+	}
+	t.Add("Total", fmtInt(tot.Candidates), fmtInt(tot.G), fmtInt(tot.M), fmt.Sprintf("%.2f%%", pct))
+	return t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 3 — replicability on an independent ccTLD deployment (§5.4)
+
+// Table3Row compares candidate sets across deployments for one protocol.
+type Table3Row struct {
+	Protocol     string
+	Ours         int
+	CcTLD        int
+	Intersection int
+}
+
+// Table3 runs the anycast-based measurement on TANGLED and on the 12-site
+// ccTLD registry deployment.
+func (e *Env) Table3() ([]Table3Row, error) {
+	cctld, err := platform.CcTLD(e.World)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Table3Row
+	for _, v6 := range []bool{false, true} {
+		ours, err := e.anycastRun(e.Tangled, dayTable3, v6, time.Second, 0x31)
+		if err != nil {
+			return nil, err
+		}
+		theirs, err := e.anycastRun(cctld, dayTable3, v6, time.Second, 0x32)
+		if err != nil {
+			return nil, err
+		}
+		a := stats.NewSet(ours.Candidates())
+		b := stats.NewSet(theirs.Candidates())
+		name := "ICMPv4"
+		if v6 {
+			name = "ICMPv6"
+		}
+		rows = append(rows, Table3Row{Protocol: name, Ours: len(a), CcTLD: len(b), Intersection: a.Intersect(b)})
+	}
+	return rows, nil
+}
+
+// RenderTable3 prints the Table 3 layout.
+func RenderTable3(w io.Writer, rows []Table3Row) error {
+	t := stats.Table{
+		Title:  "Table 3: ACs found using two distinct anycast deployments",
+		Header: []string{"Protocol", "ACs ours", "ACs ccTLD", "Intersection"},
+	}
+	for _, r := range rows {
+		t.Add(r.Protocol, fmtInt(r.Ours), fmtInt(r.CcTLD), fmtInt(r.Intersection))
+	}
+	return t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 4 — deployment size vs candidates, FNs and probing cost (§5.5.1)
+
+// Table4Row is one deployment's outcome.
+type Table4Row struct {
+	Deployment string
+	VPs        int
+	ACs        int
+	MissedLS   int // GCD_LS prefixes not in the candidate set
+	MissedPct  float64
+	Cost       int64 // probes sent
+}
+
+// Table4 measures with the reduced and alternative deployments, comparing
+// each candidate set against the GCD_LS reference, plus the GCD_LS row
+// itself.
+func (e *Env) Table4() ([]Table4Row, error) {
+	ls, err := e.GCDLS(dayTable4, false)
+	if err != nil {
+		return nil, err
+	}
+	deployments := []struct {
+		name string
+		mk   func(*netsim.World) (*netsim.Deployment, error)
+	}{
+		{"EU-NA", platform.EUNA2},
+		{"1-per-continent", platform.OnePerContinent6},
+		{"2-per-continent", platform.TwoPerContinent11},
+		{"ccTLD", platform.CcTLD},
+		{"Melbicom", platform.Melbicom},
+		{"TANGLED (Vultr)", func(w *netsim.World) (*netsim.Deployment, error) {
+			return platform.Tangled(w, netsim.PolicyUnmodified)
+		}},
+		{"Vultr+Melbicom", platform.VultrMelbicom},
+	}
+	var rows []Table4Row
+	for i, spec := range deployments {
+		d, err := spec.mk(e.World)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.anycastRun(d, dayTable4, false, time.Second, uint16(0x40+i))
+		if err != nil {
+			return nil, err
+		}
+		cands := res.CandidateSet()
+		missed := 0
+		for id := range ls.Anycast {
+			if !cands[id] {
+				missed++
+			}
+		}
+		rows = append(rows, Table4Row{
+			Deployment: spec.name,
+			VPs:        d.NumSites(),
+			ACs:        len(cands),
+			MissedLS:   missed,
+			MissedPct:  100 * float64(missed) / float64(len(ls.Anycast)),
+			Cost:       res.ProbesSent,
+		})
+	}
+	rows = append(rows, Table4Row{
+		Deployment: "GCD_LS (full)",
+		VPs:        ls.VPs,
+		ACs:        len(ls.Anycast),
+		MissedLS:   0,
+		Cost:       ls.ProbesSent,
+	})
+	return rows, nil
+}
+
+// RenderTable4 prints the Table 4 layout.
+func RenderTable4(w io.Writer, rows []Table4Row) error {
+	t := stats.Table{
+		Title:  "Table 4: anycast candidates, missed GCD_LS prefixes and probing cost per deployment",
+		Header: []string{"Deployment", "VPs", "ACs", "¬GCD_LS (%)", "Cost (probes)"},
+	}
+	for _, r := range rows {
+		t.Add(r.Deployment, r.VPs, fmtInt(r.ACs),
+			fmt.Sprintf("%s (%.1f%%)", fmtInt(r.MissedLS), r.MissedPct),
+			fmtInt(int(r.Cost)))
+	}
+	return t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 5 — largest ASes by anycast prefixes (§6)
+
+// Table5Row is one AS's census counts.
+type Table5Row struct {
+	ASN  netsim.ASN
+	Name string
+	V4   int
+	V6   int
+}
+
+// Table5 ranks origin ASes by GCD-confirmed prefixes in the daily census.
+func (e *Env) Table5() ([]Table5Row, error) {
+	counts := make(map[netsim.ASN]*Table5Row)
+	for _, v6 := range []bool{false, true} {
+		c, err := e.DailyCensus(dayTable5, v6)
+		if err != nil {
+			return nil, err
+		}
+		for _, id := range c.G() {
+			origin := c.Entries[id].Origin
+			row, ok := counts[origin]
+			if !ok {
+				row = &Table5Row{ASN: origin}
+				if a, found := e.World.ASByNumber(origin); found {
+					row.Name = a.Name
+				}
+				counts[origin] = row
+			}
+			if v6 {
+				row.V6++
+			} else {
+				row.V4++
+			}
+		}
+	}
+	rows := make([]Table5Row, 0, len(counts))
+	for _, r := range counts {
+		rows = append(rows, *r)
+	}
+	// The paper's Table 5 is ordered by IPv4 rank.
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].V4 != rows[j].V4 {
+			return rows[i].V4 > rows[j].V4
+		}
+		if rows[i].V6 != rows[j].V6 {
+			return rows[i].V6 > rows[j].V6
+		}
+		return rows[i].ASN < rows[j].ASN
+	})
+	if len(rows) > 8 {
+		rows = rows[:8]
+	}
+	return rows, nil
+}
+
+// RenderTable5 prints the Table 5 layout.
+func RenderTable5(w io.Writer, rows []Table5Row) error {
+	t := stats.Table{
+		Title:  "Table 5: largest ASes by number of anycast prefixes",
+		Header: []string{"AS", "Organization", "IPv4 (/24)", "IPv6 (/48)"},
+	}
+	for _, r := range rows {
+		t.Add(uint32(r.ASN), r.Name, fmtInt(r.V4), fmtInt(r.V6))
+	}
+	return t.Render(w)
+}
+
+// ---------------------------------------------------------------------------
+// Table 6 — BGPTools whole-prefix classification vs GCD (§5.8, App D)
+
+// Table6 runs the BGPTools-style census and audits its prefixes against
+// our GCD-confirmed set.
+func (e *Env) Table6() ([]external.SizeRow, error) {
+	bt, err := external.RunBGPTools(e.World, false, dayTable6)
+	if err != nil {
+		return nil, err
+	}
+	c, err := e.DailyCensus(dayTable6, false)
+	if err != nil {
+		return nil, err
+	}
+	g := make(map[int]bool)
+	for _, id := range c.G() {
+		g[id] = true
+	}
+	return bt.SizeTable(e.World, false, g), nil
+}
+
+// RenderTable6 prints the Table 6 layout.
+func RenderTable6(w io.Writer, rows []external.SizeRow) error {
+	t := stats.Table{
+		Title:  "Table 6: BGP prefixes classified anycast by BGPTools, by size, with GCD verdicts of contained /24s",
+		Header: []string{"Prefix size", "Occurrence", "Anycast", "Unicast", "Unresponsive"},
+	}
+	for _, r := range rows {
+		t.Add(fmt.Sprintf("/%d", r.Bits), fmtInt(r.Occurrence), fmtInt(r.Anycast),
+			fmtInt(r.Unicast), fmtInt(r.Unresponsive))
+	}
+	tot := external.Totals(rows)
+	t.Add("Total", fmtInt(tot.Occurrence), fmtInt(tot.Anycast), fmtInt(tot.Unicast), fmtInt(tot.Unresponsive))
+	return t.Render(w)
+}

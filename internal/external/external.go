@@ -1,0 +1,175 @@
+// Package external re-implements the two third-party anycast censuses the
+// paper compares against (§5.8, Appendix D):
+//
+//   - BGPTools: an anycast-based census using very few VPs that classifies
+//     entire BGP announcements as anycast as soon as a single probed
+//     address inside is detected — the whole-prefix assumption Table 6
+//     shows to be wrong;
+//   - IPInfo: a latency-based classification accumulated over weekly
+//     snapshots, which retains temporary anycast long after it reverted to
+//     unicast.
+package external
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"github.com/laces-project/laces/internal/hitlist"
+	"github.com/laces-project/laces/internal/igreedy"
+	"github.com/laces-project/laces/internal/manycast"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// BGPToolsVPCities are the (four) measurement sites of the BGPTools-style
+// census ("with four VPs as of Sep '25", §2.3).
+func BGPToolsVPCities() []string {
+	return []string{"Amsterdam", "New York", "Singapore", "Sao Paulo"}
+}
+
+// BGPToolsCensus is the output of the BGPTools methodology: announced
+// prefixes classified as anycast.
+type BGPToolsCensus struct {
+	// Prefixes holds the indices (into World.BGPPrefixes) of announced
+	// prefixes classified anycast.
+	Prefixes map[int]bool
+	// ACTargets holds the underlying anycast-based candidates.
+	ACTargets map[int]bool
+}
+
+// RunBGPTools executes the BGPTools-style census: a 4-VP anycast-based
+// measurement, no GCD filtering, whole-announcement classification.
+func RunBGPTools(w *netsim.World, v6 bool, day int) (*BGPToolsCensus, error) {
+	d, err := w.NewDeployment("bgptools", BGPToolsVPCities(), netsim.PolicyUnmodified)
+	if err != nil {
+		return nil, err
+	}
+	hl := hitlist.ForDay(w, v6, day)
+	res, err := manycast.Run(w, d, hl, manycast.Options{
+		Protocol:      packet.ICMP,
+		Start:         netsim.DayTime(day).Add(2 * time.Hour),
+		Offset:        time.Second,
+		MeasurementID: 0xb6,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &BGPToolsCensus{
+		Prefixes:  make(map[int]bool),
+		ACTargets: res.CandidateSet(),
+	}
+	targets := w.Targets(v6)
+	for id := range c.ACTargets {
+		c.Prefixes[targets[id].BGPPrefix] = true
+	}
+	return c, nil
+}
+
+// SizeRow is one row of Table 6: BGP prefixes of one size classified
+// anycast by BGPTools, with the GCD verdicts of the /24s (or /48s) inside.
+type SizeRow struct {
+	Bits         int
+	Occurrence   int
+	Anycast      int // GCD-confirmed slots
+	Unicast      int // responsive slots GCD calls unicast
+	Unresponsive int // address slots with no hitlist entry
+}
+
+// SizeTable groups the census by announced prefix size and counts slot
+// verdicts against a GCD-confirmed set (our census 𝒢), reproducing
+// Table 6.
+func (c *BGPToolsCensus) SizeTable(w *netsim.World, v6 bool, gcdConfirmed map[int]bool) []SizeRow {
+	unit := 24
+	if v6 {
+		unit = 48
+	}
+	byBits := make(map[int]*SizeRow)
+	for bi := range c.Prefixes {
+		bp := w.BGPPrefixes(v6)[bi]
+		row, ok := byBits[bp.Prefix.Bits()]
+		if !ok {
+			row = &SizeRow{Bits: bp.Prefix.Bits()}
+			byBits[bp.Prefix.Bits()] = row
+		}
+		row.Occurrence++
+		slots := 1 << (unit - bp.Prefix.Bits())
+		row.Unresponsive += slots - len(bp.Targets)
+		for _, id := range bp.Targets {
+			if gcdConfirmed[id] {
+				row.Anycast++
+			} else {
+				row.Unicast++
+			}
+		}
+	}
+	rows := make([]SizeRow, 0, len(byBits))
+	for _, r := range byBits {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Bits < rows[j].Bits })
+	return rows
+}
+
+// Totals sums a size table.
+func Totals(rows []SizeRow) SizeRow {
+	var t SizeRow
+	for _, r := range rows {
+		t.Occurrence += r.Occurrence
+		t.Anycast += r.Anycast
+		t.Unicast += r.Unicast
+		t.Unresponsive += r.Unresponsive
+	}
+	return t
+}
+
+// String renders a row.
+func (r SizeRow) String() string {
+	return fmt.Sprintf("/%d x%d anycast=%d unicast=%d unresponsive=%d",
+		r.Bits, r.Occurrence, r.Anycast, r.Unicast, r.Unresponsive)
+}
+
+// IPInfoCensus is the output of the IPInfo-style methodology.
+type IPInfoCensus struct {
+	// Prefixes holds target IDs classified anycast in at least one of the
+	// accumulated weekly snapshots.
+	Prefixes map[int]bool
+	// Weeks is the number of accumulated snapshots.
+	Weeks int
+}
+
+// RunIPInfo executes the IPInfo-style census at a day: latency-based
+// anycast detection over the hitlist, accumulated across trailing weekly
+// snapshots (§5.8: "they accumulate anycast prefixes using weekly
+// snapshots" — which is why they retain temporary anycast).
+func RunIPInfo(w *netsim.World, vps []netsim.VP, v6 bool, day, weeks int) *IPInfoCensus {
+	if weeks < 1 {
+		weeks = 1
+	}
+	c := &IPInfoCensus{Prefixes: make(map[int]bool), Weeks: weeks}
+	for wk := 0; wk < weeks; wk++ {
+		snapDay := day - 7*wk
+		if snapDay < 0 {
+			break
+		}
+		hl := hitlist.ForDay(w, v6, snapDay)
+		at := netsim.DayTime(snapDay)
+		targets := w.Targets(v6)
+		samples := make([]igreedy.Sample, 0, len(vps))
+		for _, e := range hl.FilterProtocol(packet.ICMP) {
+			tg := &targets[e.TargetID]
+			samples = samples[:0]
+			for _, vp := range vps {
+				rtt, _, ok := w.ProbeUnicast(vp, tg, packet.ICMP, at, uint64(wk))
+				if !ok {
+					continue
+				}
+				samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: rtt})
+			}
+			if igreedy.Detect(samples, igreedy.Options{}) {
+				c.Prefixes[e.TargetID] = true
+			}
+		}
+	}
+	return c
+}

@@ -1,0 +1,176 @@
+// Package gcdmeas runs the latency-based GCD measurement campaigns of the
+// LACeS pipeline (§4.3): the daily GCD towards anycast candidates using
+// Ark, the periodic full-hitlist GCD_LS sweeps (§5.1.1), and the
+// /32-granularity GCD_IPv4 sweep that uncovers partial anycast (§5.7).
+// The analysis itself lives in internal/igreedy; this package collects the
+// RTT samples from a VP pool and accounts probing cost.
+package gcdmeas
+
+import (
+	"time"
+
+	"github.com/laces-project/laces/internal/igreedy"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// Campaign configures one latency measurement campaign.
+type Campaign struct {
+	VPs   []netsim.VP
+	Proto packet.Protocol // ICMP or TCP; DNS is excluded from GCD (§4.3)
+	At    time.Time
+	// Attempts per VP; the smallest RTT is kept (retries only shrink
+	// discs). Zero means 1.
+	Attempts int
+	// Analysis options (processing allowance, geolocation DB).
+	Analysis igreedy.Options
+}
+
+// TargetOutcome is the GCD result for one target.
+type TargetOutcome struct {
+	TargetID int
+	Result   igreedy.Result
+	// VPs is the number of vantage points that obtained a sample; the
+	// census publishes it because it bounds enumeration quality (§4.4).
+	VPs int
+}
+
+// Report is the outcome of a campaign.
+type Report struct {
+	Outcomes map[int]TargetOutcome
+	// ProbesSent counts transmitted probes (Table 4 cost accounting).
+	ProbesSent int64
+}
+
+// Anycast returns the set of targets the campaign confirms as anycast.
+func (r *Report) Anycast() map[int]bool {
+	out := make(map[int]bool)
+	for id, o := range r.Outcomes {
+		if o.Result.Anycast {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// Run measures the listed targets from every VP and analyses each with
+// iGreedy.
+func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
+	attempts := c.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	rep := &Report{Outcomes: make(map[int]TargetOutcome, len(targetIDs))}
+	targets := w.Targets(v6)
+	samples := make([]igreedy.Sample, 0, len(c.VPs))
+	for _, id := range targetIDs {
+		if id < 0 || id >= len(targets) {
+			continue
+		}
+		tg := &targets[id]
+		samples = samples[:0]
+		for _, vp := range c.VPs {
+			bestSet := false
+			var best time.Duration
+			for a := 0; a < attempts; a++ {
+				rep.ProbesSent++
+				rtt, _, ok := w.ProbeUnicast(vp, tg, c.Proto, c.At, uint64(a))
+				if !ok {
+					break // unresponsive targets never answer any attempt
+				}
+				if !bestSet || rtt < best {
+					best, bestSet = rtt, true
+				}
+			}
+			if bestSet {
+				samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: best})
+			}
+		}
+		if len(samples) == 0 {
+			continue
+		}
+		rep.Outcomes[id] = TargetOutcome{
+			TargetID: id,
+			Result:   igreedy.Analyze(samples, c.Analysis),
+			VPs:      len(samples),
+		}
+	}
+	return rep
+}
+
+// RunAddrSweep is the GCD_IPv4-style /32-granularity sweep over one
+// prefix: it probes sampled address offsets within each target prefix and
+// reports which offsets are anycast. Partial anycast is a prefix whose
+// representative is unicast while some offset is anycast (§5.7).
+type AddrSweepOutcome struct {
+	TargetID int
+	// AnycastOffsets are the address offsets confirmed anycast.
+	AnycastOffsets []uint8
+	// RepresentativeAnycast is true when the /24's representative address
+	// itself is anycast.
+	RepresentativeAnycast bool
+}
+
+// Partial reports whether the sweep found a partial-anycast prefix: a
+// unicast representative with anycast addresses inside.
+func (o AddrSweepOutcome) Partial() bool {
+	return !o.RepresentativeAnycast && len(o.AnycastOffsets) > 0
+}
+
+// SweepAddrs probes the given offsets of every listed target prefix from
+// every VP. The paper's sweep covered all four billion IPv4 addresses with
+// 13 VPs over ten days; we cover a deterministic sample of offsets per
+// prefix (see EXPERIMENTS.md for the substitution note).
+func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Campaign) ([]AddrSweepOutcome, int64) {
+	var probes int64
+	targets := w.Targets(v6)
+	var out []AddrSweepOutcome
+	samples := make([]igreedy.Sample, 0, len(c.VPs))
+	for _, id := range targetIDs {
+		tg := &targets[id]
+		o := AddrSweepOutcome{TargetID: id}
+		repOff := tg.Addr.AsSlice()
+		rep := repOff[len(repOff)-1]
+		offs := offsets
+		// Always include the representative so the outcome records both
+		// views of the prefix.
+		offs = append(append([]uint8{}, offs...), rep)
+		for _, off := range offs {
+			samples = samples[:0]
+			for _, vp := range c.VPs {
+				probes++
+				rtt, _, ok := w.ProbeUnicastAddr(vp, tg, off, c.Proto, c.At, uint64(off))
+				if !ok {
+					continue
+				}
+				samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: rtt})
+			}
+			if len(samples) < 2 {
+				continue
+			}
+			if igreedy.Detect(samples, c.Analysis) {
+				if off == rep {
+					o.RepresentativeAnycast = true
+				} else {
+					o.AnycastOffsets = append(o.AnycastOffsets, off)
+				}
+			}
+		}
+		if o.RepresentativeAnycast || len(o.AnycastOffsets) > 0 {
+			out = append(out, o)
+		}
+	}
+	return out, probes
+}
+
+// DefaultSweepOffsets returns the deterministic per-prefix address sample
+// used by the GCD_IPv4 sweep: a spread of offsets that, combined with the
+// representative, gives high probability of hitting a partial-anycast run
+// (generated runs are 6 consecutive addresses).
+func DefaultSweepOffsets() []uint8 {
+	out := make([]uint8, 0, 43)
+	for off := 8; off < 224; off += 5 {
+		out = append(out, uint8(off))
+	}
+	return out
+}

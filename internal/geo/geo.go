@@ -1,0 +1,134 @@
+// Package geo provides the geographic primitives LACeS relies on: great
+// circle distance (GCD) computation on the WGS-84 sphere approximation and
+// the conversion between round-trip times and the maximum distance a packet
+// can have travelled at the speed of light in fibre.
+//
+// These primitives underpin the iGreedy latency-based anycast detection
+// described in §2.1 of the paper: a reply observed with RTT r at a vantage
+// point places the responding host inside a disc of radius
+// MaxDistanceKm(r) around that vantage point. Two vantage points whose
+// discs do not intersect constitute a "speed-of-light violation" and prove
+// the probed address is anycast.
+package geo
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+const (
+	// EarthRadiusKm is the mean Earth radius used for great circle
+	// distance computation.
+	EarthRadiusKm = 6371.0
+
+	// FibreSpeedKmPerSec is the propagation speed of light in optical
+	// fibre (~2/3 of c). iGreedy's default (§2.1).
+	FibreSpeedKmPerSec = 200000.0
+
+	// degToRad converts degrees to radians.
+	degToRad = math.Pi / 180.0
+)
+
+// Coordinate is a point on the Earth surface in decimal degrees.
+// The zero value is the Gulf of Guinea origin (0°N 0°E), which is a valid
+// coordinate; use IsValid to reject out-of-range values from untrusted
+// input.
+type Coordinate struct {
+	Lat float64 // latitude in [-90, 90]
+	Lon float64 // longitude in [-180, 180]
+}
+
+// IsValid reports whether the coordinate lies within the valid
+// latitude/longitude ranges.
+func (c Coordinate) IsValid() bool {
+	return c.Lat >= -90 && c.Lat <= 90 && c.Lon >= -180 && c.Lon <= 180 &&
+		!math.IsNaN(c.Lat) && !math.IsNaN(c.Lon)
+}
+
+// String renders the coordinate as "lat,lon" with 4 decimal digits
+// (≈11 m resolution), enough for city-level geolocation.
+func (c Coordinate) String() string {
+	return fmt.Sprintf("%.4f,%.4f", c.Lat, c.Lon)
+}
+
+// DistanceKm returns the great circle distance in kilometres between c and
+// other, using the haversine formula. Haversine is numerically stable for
+// the small angles that dominate anycast site discrimination (nearby sites)
+// while remaining accurate antipodally.
+func (c Coordinate) DistanceKm(other Coordinate) float64 {
+	lat1 := c.Lat * degToRad
+	lat2 := other.Lat * degToRad
+	dLat := (other.Lat - c.Lat) * degToRad
+	dLon := (other.Lon - c.Lon) * degToRad
+
+	sinLat := math.Sin(dLat / 2)
+	sinLon := math.Sin(dLon / 2)
+	h := sinLat*sinLat + math.Cos(lat1)*math.Cos(lat2)*sinLon*sinLon
+	if h > 1 {
+		h = 1
+	}
+	return 2 * EarthRadiusKm * math.Asin(math.Sqrt(h))
+}
+
+// MaxDistanceKm converts a round-trip time into the maximum one-way great
+// circle distance the reply can have covered assuming propagation at the
+// speed of light in fibre. This deliberately ignores queueing and
+// processing delay, so it over-estimates the disc radius and therefore
+// under-estimates the number of anycast prefixes and sites (§2.1) — it
+// never produces a false "speed-of-light violation".
+func MaxDistanceKm(rtt time.Duration) float64 {
+	if rtt <= 0 {
+		return 0
+	}
+	return rtt.Seconds() / 2 * FibreSpeedKmPerSec
+}
+
+// MinRTT returns the smallest physically possible round-trip time for a
+// target at the given one-way distance: the inverse of MaxDistanceKm.
+func MinRTT(distanceKm float64) time.Duration {
+	if distanceKm <= 0 {
+		return 0
+	}
+	return time.Duration(distanceKm * 2 / FibreSpeedKmPerSec * float64(time.Second))
+}
+
+// Disc is a spherical cap: every point within RadiusKm great circle
+// kilometres of Center. iGreedy represents each vantage point measurement
+// as a disc that must contain the responding anycast site.
+type Disc struct {
+	Center   Coordinate
+	RadiusKm float64
+}
+
+// Contains reports whether p lies inside the disc (boundary inclusive).
+func (d Disc) Contains(p Coordinate) bool {
+	return d.Center.DistanceKm(p) <= d.RadiusKm
+}
+
+// Overlaps reports whether two discs share at least one point. Two
+// non-overlapping discs cannot contain the same host, which is exactly the
+// speed-of-light violation iGreedy looks for.
+func (d Disc) Overlaps(other Disc) bool {
+	return d.Center.DistanceKm(other.Center) <= d.RadiusKm+other.RadiusKm
+}
+
+// Midpoint returns the coordinate halfway along the great circle segment
+// between a and b. Used by the simulator to place intermediate
+// infrastructure and by tests.
+func Midpoint(a, b Coordinate) Coordinate {
+	lat1 := a.Lat * degToRad
+	lon1 := a.Lon * degToRad
+	lat2 := b.Lat * degToRad
+	lon2 := b.Lon * degToRad
+
+	bx := math.Cos(lat2) * math.Cos(lon2-lon1)
+	by := math.Cos(lat2) * math.Sin(lon2-lon1)
+	lat := math.Atan2(math.Sin(lat1)+math.Sin(lat2),
+		math.Sqrt((math.Cos(lat1)+bx)*(math.Cos(lat1)+bx)+by*by))
+	lon := lon1 + math.Atan2(by, math.Cos(lat1)+bx)
+
+	// Normalise longitude to [-180, 180].
+	lonDeg := math.Mod(lon/degToRad+540, 360) - 180
+	return Coordinate{Lat: lat / degToRad, Lon: lonDeg}
+}

@@ -1,0 +1,92 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// Edge-case coverage beyond the main suite: antipodal points, pole
+// crossings, date-line wrapping and degenerate discs.
+
+func TestDistanceAntipodal(t *testing.T) {
+	a := Coordinate{Lat: 0, Lon: 0}
+	b := Coordinate{Lat: 0, Lon: 180}
+	want := math.Pi * EarthRadiusKm
+	if got := a.DistanceKm(b); math.Abs(got-want) > 1 {
+		t.Fatalf("antipodal distance = %f, want %f", got, want)
+	}
+}
+
+func TestDistancePoles(t *testing.T) {
+	north := Coordinate{Lat: 90, Lon: 0}
+	south := Coordinate{Lat: -90, Lon: 77} // longitude irrelevant at poles
+	want := math.Pi * EarthRadiusKm
+	if got := north.DistanceKm(south); math.Abs(got-want) > 1 {
+		t.Fatalf("pole-to-pole = %f, want %f", got, want)
+	}
+	// Any point is a quarter-circumference from the pole at lat 0.
+	eq := Coordinate{Lat: 0, Lon: -123}
+	if got := north.DistanceKm(eq); math.Abs(got-want/2) > 1 {
+		t.Fatalf("pole-to-equator = %f, want %f", got, want/2)
+	}
+}
+
+func TestDistanceAcrossDateLine(t *testing.T) {
+	// Suva (178.4°E) to Apia-ish (-172°W): short hop across the
+	// antimeridian, not a trip around the globe.
+	a := Coordinate{Lat: -18.1, Lon: 178.4}
+	b := Coordinate{Lat: -13.8, Lon: -171.8}
+	if got := a.DistanceKm(b); got > 1200 {
+		t.Fatalf("date-line crossing = %f km, want ~1100", got)
+	}
+}
+
+func TestZeroRadiusDisc(t *testing.T) {
+	p := Coordinate{Lat: 10, Lon: 20}
+	d := Disc{Center: p, RadiusKm: 0}
+	if !d.Contains(p) {
+		t.Fatal("zero-radius disc must contain its center")
+	}
+	if d.Contains(Coordinate{Lat: 10.1, Lon: 20}) {
+		t.Fatal("zero-radius disc must contain nothing else")
+	}
+	// Two zero-radius discs at the same point still overlap (share it).
+	if !d.Overlaps(Disc{Center: p}) {
+		t.Fatal("coincident degenerate discs must overlap")
+	}
+}
+
+func TestWholeEarthDisc(t *testing.T) {
+	d := Disc{Center: Coordinate{Lat: 52, Lon: 5}, RadiusKm: math.Pi * EarthRadiusKm}
+	for _, p := range []Coordinate{{-52, -175}, {90, 0}, {-90, 0}} {
+		if !d.Contains(p) {
+			t.Fatalf("whole-earth disc misses %v", p)
+		}
+	}
+}
+
+func TestMinRTTMonotone(t *testing.T) {
+	prev := time.Duration(0)
+	for km := 0.0; km <= 20000; km += 500 {
+		rtt := MinRTT(km)
+		if rtt < prev {
+			t.Fatalf("MinRTT not monotone at %f km", km)
+		}
+		prev = rtt
+	}
+	if MinRTT(-5) != 0 {
+		t.Fatal("negative distance should yield zero RTT")
+	}
+}
+
+func TestMidpointAntipodal(t *testing.T) {
+	// Antipodal midpoints are ill-conditioned; the function must still
+	// return a valid coordinate equidistant-ish from both.
+	a := Coordinate{Lat: 0, Lon: 0}
+	b := Coordinate{Lat: 0, Lon: 180}
+	m := Midpoint(a, b)
+	if !m.IsValid() {
+		t.Fatalf("midpoint invalid: %v", m)
+	}
+}

@@ -1,0 +1,174 @@
+package hitlist
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+)
+
+var testWorld = mustWorld()
+
+func mustWorld() *netsim.World {
+	w, err := netsim.New(netsim.TestConfig())
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+func TestQuarterOf(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 0, 89: 0, 90: 90, 179: 90, 180: 180, 533: 450, -5: 0}
+	for day, want := range cases {
+		if got := QuarterOf(day); got != want {
+			t.Errorf("QuarterOf(%d) = %d, want %d", day, got, want)
+		}
+	}
+}
+
+func TestScanMatchesResponsiveness(t *testing.T) {
+	h := Scan(testWorld, SourceISI, false, 0)
+	if h.Len() == 0 {
+		t.Fatal("empty ISI scan")
+	}
+	for _, e := range h.Entries {
+		tg := &testWorld.TargetsV4[e.TargetID]
+		if !tg.Responsive[packet.ICMP] {
+			t.Fatalf("ISI scan included ICMP-unresponsive target %d", e.TargetID)
+		}
+		if !e.Protocols[packet.ICMP] {
+			t.Fatal("ISI entry not flagged ICMP")
+		}
+		if e.Prefix != tg.Prefix || e.Addr != tg.Addr {
+			t.Fatal("entry prefix/addr mismatch")
+		}
+	}
+}
+
+func TestMergeUnionsProtocols(t *testing.T) {
+	isi := Scan(testWorld, SourceISI, false, 0)
+	zmap := Scan(testWorld, SourceZmap, false, 0)
+	dns := Scan(testWorld, SourceDNS, false, 0)
+	merged, err := Merge(isi, zmap, dns)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if merged.Len() < isi.Len() || merged.Len() < zmap.Len() {
+		t.Fatal("merge lost entries")
+	}
+	// The union must equal the number of targets responsive to >= 1
+	// scanned protocol (= all targets, by world construction).
+	if merged.Len() != len(testWorld.TargetsV4) {
+		t.Fatalf("merged %d entries, world has %d responsive targets", merged.Len(), len(testWorld.TargetsV4))
+	}
+	// Entry protocol flags must equal the target's responsiveness.
+	for _, e := range merged.Entries {
+		tg := &testWorld.TargetsV4[e.TargetID]
+		if e.Protocols != tg.Responsive {
+			t.Fatalf("target %d: protocols %v, responsive %v", e.TargetID, e.Protocols, tg.Responsive)
+		}
+	}
+	// Sorted by ID, no duplicates.
+	for i := 1; i < merged.Len(); i++ {
+		if merged.Entries[i].TargetID <= merged.Entries[i-1].TargetID {
+			t.Fatal("merged entries not strictly sorted")
+		}
+	}
+}
+
+func TestMergeIdempotent(t *testing.T) {
+	a := Scan(testWorld, SourceISI, false, 0)
+	m1, err := Merge(a, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1.Len() != a.Len() {
+		t.Fatalf("self-merge changed size: %d vs %d", m1.Len(), a.Len())
+	}
+}
+
+func TestMergeRejectsMixedFamilies(t *testing.T) {
+	v4 := Scan(testWorld, SourceISI, false, 0)
+	v6 := Scan(testWorld, SourceTUM, true, 0)
+	if _, err := Merge(v4, v6); err == nil {
+		t.Fatal("merging v4 and v6 lists should fail")
+	}
+}
+
+func TestForDayComposition(t *testing.T) {
+	v4 := ForDay(testWorld, false, 0)
+	st := v4.Stats()
+	// Paper shape: ICMP coverage > TCP coverage >> DNS coverage for IPv4.
+	if !(st.ByProto[packet.ICMP] > st.ByProto[packet.TCP] &&
+		st.ByProto[packet.TCP] > st.ByProto[packet.DNS]) {
+		t.Fatalf("v4 protocol composition off: %v", st.ByProto)
+	}
+	v6 := ForDay(testWorld, true, 0)
+	st6 := v6.Stats()
+	// IPv6 skews to TCP relative to IPv4 (§5.3.2): the TCP share of the
+	// v6 hitlist must exceed the TCP share of the v4 hitlist.
+	v4TCPShare := float64(st.ByProto[packet.TCP]) / float64(st.Total)
+	v6TCPShare := float64(st6.ByProto[packet.TCP]) / float64(st6.Total)
+	if v6TCPShare <= v4TCPShare {
+		t.Fatalf("v6 TCP share %.2f should exceed v4 %.2f", v6TCPShare, v4TCPShare)
+	}
+}
+
+func TestQuarterlyGrowth(t *testing.T) {
+	early := ForDay(testWorld, true, 0)
+	late := ForDay(testWorld, true, 500)
+	if late.Len() <= early.Len() {
+		t.Fatalf("v6 hitlist should grow: day0=%d day500=%d", early.Len(), late.Len())
+	}
+	// Growth only lands at quarter boundaries.
+	d89 := ForDay(testWorld, true, 89)
+	if d89.Len() != early.Len() {
+		t.Fatal("hitlist changed before the quarterly refresh")
+	}
+	d90 := ForDay(testWorld, true, 90)
+	if d90.Len() <= d89.Len() {
+		t.Fatal("no growth at the day-90 refresh")
+	}
+}
+
+func TestFilterProtocol(t *testing.T) {
+	h := ForDay(testWorld, false, 0)
+	for _, p := range packet.Protocols() {
+		sub := h.FilterProtocol(p)
+		for _, e := range sub {
+			if !e.Protocols[p] {
+				t.Fatalf("FilterProtocol(%v) returned non-%v entry", p, p)
+			}
+		}
+		if len(sub) != h.Stats().ByProto[p] {
+			t.Fatalf("FilterProtocol(%v) size %d, stats say %d", p, len(sub), h.Stats().ByProto[p])
+		}
+	}
+}
+
+func TestIDsOrder(t *testing.T) {
+	h := ForDay(testWorld, false, 0)
+	ids := h.IDs()
+	if len(ids) != h.Len() {
+		t.Fatal("IDs length mismatch")
+	}
+	f := func(i uint16) bool {
+		k := int(i) % len(ids)
+		return ids[k] == h.Entries[k].TargetID
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceString(t *testing.T) {
+	for s, want := range map[Source]string{SourceISI: "ISI", SourceZmap: "Zmap", SourceDNS: "OpenINTEL", SourceTUM: "TUM"} {
+		if s.String() != want {
+			t.Errorf("%v != %s", s, want)
+		}
+	}
+	if Source(9).String() != "Source(9)" {
+		t.Error("unknown source formatting")
+	}
+}

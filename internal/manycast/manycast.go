@@ -1,0 +1,196 @@
+// Package manycast implements the anycast-based measurement stage of
+// LACeS (§4.2): probing every hitlist target once from every site of an
+// anycast deployment with synchronized, offset-spaced probes, then
+// classifying targets by the number of distinct vantage points that
+// received replies. One receiving VP means unicast; two or more make the
+// target an anycast candidate (AC) for the follow-up GCD stage.
+//
+// This is the in-process engine used by the census pipeline and the
+// experiment harness. The distributed Orchestrator/Worker plane
+// (internal/orchestrator, internal/worker) performs the same measurement
+// over real sockets and reuses this package's classification.
+package manycast
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"github.com/laces-project/laces/internal/hitlist"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/rate"
+)
+
+// Options configures one anycast-based measurement.
+type Options struct {
+	Protocol packet.Protocol
+	// Start is the measurement start time; it positions the measurement
+	// on the census timeline (route churn, temporary anycast, …).
+	Start time.Time
+	// Offset is the spacing between consecutive workers' probes to the
+	// same target (§4.2.3; the paper's default is 1 s, "mimicking a
+	// regular ping sequence").
+	Offset time.Duration
+	// Rate is the hitlist consumption rate in targets per second (R3).
+	// Zero means 10,000/s, the paper-equivalent daily-census rate.
+	Rate float64
+	// StaticProbes disables per-worker payload variation, reproducing the
+	// §5.1.4 load-balancer control experiment.
+	StaticProbes bool
+	// MeasurementID seeds flow headers; runs with the same ID share flow
+	// hashing.
+	MeasurementID uint16
+	// MissingWorkers marks deployment sites that are disconnected for the
+	// duration of the run (failure awareness, §4.2.3: the measurement is
+	// completed by the remaining workers).
+	MissingWorkers map[int]bool
+}
+
+// DefaultRate is the daily-census hitlist rate in targets per second.
+const DefaultRate = 10_000
+
+// TargetObs is the per-target observation: which deployment sites
+// received replies. Receiver sets are bitmasks, so deployments are limited
+// to 64 sites — enough for Vultr+Melbicom's 48.
+type TargetObs struct {
+	TargetID  int
+	Receivers uint64
+}
+
+// NumReceivers returns the count of distinct receiving VPs.
+func (o TargetObs) NumReceivers() int { return bits.OnesCount64(o.Receivers) }
+
+// IsCandidate reports whether the anycast-based stage classifies the
+// target as an anycast candidate (two or more receiving VPs, §2.2).
+func (o TargetObs) IsCandidate() bool { return o.NumReceivers() >= 2 }
+
+// Result is the outcome of one measurement.
+type Result struct {
+	Deployment string
+	Protocol   packet.Protocol
+	Start      time.Time
+	// Observations holds one entry per responsive hitlist target, in
+	// hitlist order.
+	Observations []TargetObs
+	// ProbesSent counts transmitted probes (the probing-cost accounting
+	// of Table 4).
+	ProbesSent int64
+	// Workers is the number of participating deployment sites.
+	Workers int
+	// Duration is the modelled wall-clock duration of the run at the
+	// configured rate and offsets.
+	Duration time.Duration
+}
+
+// Candidates returns the IDs of targets classified as anycast candidates.
+func (r *Result) Candidates() []int {
+	var out []int
+	for _, o := range r.Observations {
+		if o.IsCandidate() {
+			out = append(out, o.TargetID)
+		}
+	}
+	return out
+}
+
+// CandidateSet returns the candidates as a set.
+func (r *Result) CandidateSet() map[int]bool {
+	out := make(map[int]bool)
+	for _, o := range r.Observations {
+		if o.IsCandidate() {
+			out[o.TargetID] = true
+		}
+	}
+	return out
+}
+
+// ReceiverHistogram buckets targets by number of receiving VPs — the rows
+// of Table 2 and the x-axis of Fig 5.
+func (r *Result) ReceiverHistogram() map[int]int {
+	out := make(map[int]int)
+	for _, o := range r.Observations {
+		if n := o.NumReceivers(); n > 0 {
+			out[n]++
+		}
+	}
+	return out
+}
+
+// Run executes an anycast-based measurement of the hitlist entries
+// answering opts.Protocol against the deployment.
+func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Options) (*Result, error) {
+	if d.NumSites() > 64 {
+		return nil, fmt.Errorf("manycast: deployment has %d sites, receiver bitmask supports 64", d.NumSites())
+	}
+	if opts.Rate == 0 {
+		opts.Rate = DefaultRate
+	}
+	pacer, err := rate.NewPacer(opts.Start, opts.Rate, opts.Offset)
+	if err != nil {
+		return nil, fmt.Errorf("manycast: %w", err)
+	}
+	res := &Result{
+		Deployment: d.Name,
+		Protocol:   opts.Protocol,
+		Start:      opts.Start,
+		Workers:    d.NumSites() - len(opts.MissingWorkers),
+	}
+	entries := hl.FilterProtocol(opts.Protocol)
+	targets := w.Targets(hl.V6)
+	for i, e := range entries {
+		tg := &targets[e.TargetID]
+		var mask uint64
+		for wk := 0; wk < d.NumSites(); wk++ {
+			if opts.MissingWorkers[wk] {
+				continue
+			}
+			varying := uint64(wk + 1)
+			if opts.StaticProbes {
+				varying = 0
+			}
+			ctx := netsim.ProbeCtx{
+				At: pacer.SendTime(i, wk),
+				Flow: netsim.FlowKey{
+					Proto:          opts.Protocol,
+					StaticFlow:     uint64(opts.MeasurementID) + 1,
+					VaryingPayload: varying,
+				},
+				Gap: opts.Offset,
+				Seq: uint64(e.TargetID),
+			}
+			res.ProbesSent++
+			if del, ok := w.ProbeAnycast(d, wk, tg, ctx); ok {
+				if opts.MissingWorkers[del.WorkerIdx] {
+					// Replies routed to a dead site are lost.
+					continue
+				}
+				mask |= 1 << uint(del.WorkerIdx)
+			}
+		}
+		if mask != 0 {
+			res.Observations = append(res.Observations, TargetObs{TargetID: e.TargetID, Receivers: mask})
+		}
+	}
+	res.Duration = pacer.Duration(len(entries), d.NumSites())
+	return res, nil
+}
+
+// MultiProtocol runs one measurement per protocol and returns them keyed
+// by protocol — the daily census probes ICMP, TCP and DNS (§4.3).
+func MultiProtocol(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, base Options, protos []packet.Protocol) (map[packet.Protocol]*Result, error) {
+	out := make(map[packet.Protocol]*Result, len(protos))
+	for _, p := range protos {
+		opts := base
+		opts.Protocol = p
+		// Protocol runs are sequential: offset each start by the previous
+		// run's duration.
+		r, err := Run(w, d, hl, opts)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = r
+		base.Start = base.Start.Add(r.Duration)
+	}
+	return out, nil
+}

@@ -1,0 +1,210 @@
+package netsim
+
+import (
+	"strings"
+	"time"
+
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// ProbeCtx carries the measurement context of a single probe.
+type ProbeCtx struct {
+	At   time.Time     // transmit time (drives churn epochs and day kinds)
+	Flow FlowKey       // fields load balancers may hash over
+	Gap  time.Duration // spacing between consecutive workers' probes (R3)
+	Seq  uint64        // per-probe sequence, varies latency jitter
+}
+
+// kmPerMs is the propagation speed of light in fibre expressed in km per
+// millisecond of one-way travel.
+const kmPerMs = 200.0
+
+// rttOverDistance turns a path length into a round-trip time: propagation
+// at fibre speed times a deterministic stretch factor ≥ 1.15 (BGP paths are
+// longer than geodesics), plus protocol processing time and jitter. The
+// stretch floor guarantees GCD discs always contain the true responder, so
+// the simulator can never manufacture an impossible speed-of-light
+// violation.
+func (w *World) rttOverDistance(distKm float64, key uint64, proto packet.Protocol, seq uint64) time.Duration {
+	stretch := 1.15 + 0.45*unitFloat(mix(w.seed, key, 0x4717))
+	ms := 2 * distKm * stretch / kmPerMs
+	switch proto {
+	case packet.ICMP:
+		ms += 0.15 + 1.2*unitFloat(mix(w.seed, key, seq, 0x1))
+	case packet.TCP:
+		ms += 0.2 + 1.6*unitFloat(mix(w.seed, key, seq, 0x2))
+	case packet.DNS:
+		// DNS request processing adds enough jitter that the paper
+		// excludes DNS from GCD measurements (§4.3).
+		ms += 2 + 24*unitFloat(mix(w.seed, key, seq, 0x3))
+	}
+	ms += 0.7 * unitFloat(mix(w.seed, key, seq, 0x9))
+	return time.Duration(ms * float64(time.Millisecond))
+}
+
+// isV6 reports the target's family.
+func isV6(tg *Target) bool { return tg.Addr.Is6() && !tg.Addr.Is4In6() }
+
+// ProbeAnycast simulates one probe of the anycast-based stage: worker
+// `worker` of deployment d probes tg. It returns where the reply lands
+// (possibly a different worker — that is the measurement principle) or
+// ok=false when the target does not respond.
+func (w *World) ProbeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx) (Delivery, bool) {
+	proto := ctx.Flow.Proto
+	if !tg.Responsive[proto] {
+		return Delivery{}, false
+	}
+	day := DayOf(ctx.At)
+	at := ctx.At.Unix()
+
+	// ICMP rate limiting: when probes arrive nearly simultaneously
+	// (inter-probe gap below the threshold) rate-limited targets drop a
+	// share of replies (R1/R3: spacing probes avoids this).
+	if proto == packet.ICMP && ctx.Gap < time.Duration(w.Cfg.RateLimitGapMS)*time.Millisecond {
+		if chance(mix(w.seed, uint64(tg.ID), 0x4a7e), w.Cfg.RateLimitFrac) &&
+			chance(mix(w.seed, uint64(tg.ID), uint64(worker), uint64(day), 0x11), 0.35) {
+			return Delivery{}, false
+		}
+	}
+
+	v6 := isV6(tg)
+	workerCity := d.Sites[worker].CityIdx
+	switch tg.KindAt(day) {
+	case Anycast:
+		site := w.targetSite(tg, workerCity, v6)
+		fromCity := tg.Sites[site].CityIdx
+		recv := w.receiver(d, tg, fromCity, worker, ctx.Flow, at, day)
+		d1 := w.distKm(workerCity, fromCity)
+		d2 := w.distKm(fromCity, d.Sites[recv].CityIdx)
+		rtt := w.rttOverDistance((d1+d2)/2, mix(w.seed, uint64(tg.ID), uint64(worker), 0xa), proto, ctx.Seq)
+		return Delivery{WorkerIdx: recv, RTT: rtt, SiteIdx: site}, true
+
+	case GlobalUnicast:
+		// Probes ingress at the nearest edge PoP, route internally to the
+		// single server, and replies egress at one of a handful of egress
+		// edges near the ingress. Distinct workers therefore surface at a
+		// small number (2–3) of VPs — the paper's Microsoft ℳ pattern
+		// (§5.1.3, Table 2).
+		ingress := w.targetSite(tg, workerCity, v6)
+		egressCity := w.egressEdge(tg, workerCity, day)
+		recv := w.receiver(d, tg, egressCity, worker, ctx.Flow, at, day)
+		dist := w.distKm(workerCity, tg.Sites[ingress].CityIdx) +
+			w.distKm(tg.Sites[ingress].CityIdx, tg.CityIdx)
+		rtt := w.rttOverDistance(dist, mix(w.seed, uint64(tg.ID), uint64(worker), 0xb), proto, ctx.Seq)
+		return Delivery{WorkerIdx: recv, RTT: rtt, SiteIdx: -1}, true
+
+	default: // Unicast, PartialAnycast, BackingAnycast representatives
+		recv := w.receiver(d, tg, tg.CityIdx, worker, ctx.Flow, at, day)
+		d1 := w.distKm(workerCity, tg.CityIdx)
+		d2 := w.distKm(tg.CityIdx, d.Sites[recv].CityIdx)
+		rtt := w.rttOverDistance((d1+d2)/2, mix(w.seed, uint64(tg.ID), uint64(worker), 0xc), proto, ctx.Seq)
+		return Delivery{WorkerIdx: recv, RTT: rtt, SiteIdx: -1}, true
+	}
+}
+
+// ProbeUnicast simulates one latency probe from a unicast vantage point
+// (the GCD stage): it returns the measured RTT and the responding site
+// index (-1 for unicast responders), or ok=false when unresponsive.
+func (w *World) ProbeUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
+	if !tg.Responsive[proto] {
+		return 0, -1, false
+	}
+	day := DayOf(at)
+	// Transient per-(VP, target, day) measurement failure: the path from
+	// this monitor yields no samples today (§5.1.2's "probe measurement
+	// failures"). Retries within the day cannot recover it, which is why
+	// gcdmeas gives up on the first failed attempt.
+	if w.Cfg.GCDLossFrac > 0 &&
+		chance(mix(w.seed, hashString(vp.Name), uint64(tg.ID), uint64(day), 0x6e55), w.Cfg.GCDLossFrac) {
+		return 0, -1, false
+	}
+	v6 := isV6(tg)
+	key := mix(w.seed, hashString(vp.Name), uint64(tg.ID))
+	switch tg.KindAt(day) {
+	case Anycast:
+		site := w.targetSite(tg, vp.CityIdx, v6)
+		return w.rttOverDistance(w.distKm(vp.CityIdx, tg.Sites[site].CityIdx), key, proto, seq), site, true
+	case GlobalUnicast:
+		edge := w.targetSite(tg, vp.CityIdx, v6)
+		dist := w.distKm(vp.CityIdx, tg.Sites[edge].CityIdx) + w.distKm(tg.Sites[edge].CityIdx, tg.CityIdx)
+		return w.rttOverDistance(dist, key, proto, seq), -1, true
+	case BackingAnycast:
+		if vp.FiltersSpecifics {
+			// The VP's host AS never learned the more-specific unicast
+			// route; traffic follows the backing anycast announcement to
+			// the nearest PoP (§6's Fastly IPv6 false-positive case).
+			site := w.targetSite(tg, vp.CityIdx, v6)
+			return w.rttOverDistance(w.distKm(vp.CityIdx, tg.Sites[site].CityIdx), key, proto, seq), site, true
+		}
+		return w.rttOverDistance(w.distKm(vp.CityIdx, tg.CityIdx), key, proto, seq), -1, true
+	default:
+		return w.rttOverDistance(w.distKm(vp.CityIdx, tg.CityIdx), key, proto, seq), -1, true
+	}
+}
+
+// ProbeUnicastAddr is ProbeUnicast at /32 (or /128) granularity: offset
+// selects an address within the target prefix. For partial-anycast
+// prefixes the hidden anycast addresses behave as anycast; all other
+// non-representative addresses are unicast and only probabilistically
+// responsive. This is the primitive behind the GCD_IPv4 sweep (§5.7).
+func (w *World) ProbeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
+	if tg.Kind == PartialAnycast {
+		for _, a := range tg.PartialAddrs {
+			if a == offset {
+				site := w.targetSite(tg, vp.CityIdx, isV6(tg))
+				key := mix(w.seed, hashString(vp.Name), uint64(tg.ID), uint64(offset))
+				return w.rttOverDistance(w.distKm(vp.CityIdx, tg.Sites[site].CityIdx), key, proto, seq), site, true
+			}
+		}
+	}
+	if repOffset(tg) == offset {
+		return w.ProbeUnicast(vp, tg, proto, at, seq)
+	}
+	// Non-representative addresses: responsive with moderate probability.
+	if !chance(mix(w.seed, uint64(tg.ID), uint64(offset), 0x3e59), 0.3) {
+		return 0, -1, false
+	}
+	key := mix(w.seed, hashString(vp.Name), uint64(tg.ID), uint64(offset))
+	return w.rttOverDistance(w.distKm(vp.CityIdx, tg.CityIdx), key, proto, seq), -1, true
+}
+
+// repOffset returns the last byte of the representative address.
+func repOffset(tg *Target) uint8 {
+	b := tg.Addr.AsSlice()
+	return b[len(b)-1]
+}
+
+// ChaosRecord returns the CHAOS id.server TXT value a DNS target at the
+// given responding site answers with, or ok=false when the target does not
+// implement CHAOS (App C).
+func (w *World) ChaosRecord(tg *Target, siteIdx int, probeHash uint64) (string, bool) {
+	if !tg.Responsive[packet.DNS] {
+		return "", false
+	}
+	switch tg.Chaos {
+	case ChaosPerSite:
+		name := "home"
+		if siteIdx >= 0 && siteIdx < len(tg.Sites) {
+			name = tg.Sites[siteIdx].City.Name
+		} else if tg.CityIdx < w.nCities {
+			name = w.DB.All()[tg.CityIdx].Name
+		}
+		return "site-" + sanitizeLabel(name), true
+	case ChaosPerServer:
+		n := tg.CoLocated
+		if n < 2 {
+			n = 2
+		}
+		return "auth" + string(rune('1'+pick(probeHash, n))), true
+	case ChaosReplicated:
+		return "ns1", true
+	default:
+		return "", false
+	}
+}
+
+// sanitizeLabel lowercases a city name into a DNS-label-safe token.
+func sanitizeLabel(s string) string {
+	s = strings.ToLower(s)
+	return strings.ReplaceAll(s, " ", "-")
+}

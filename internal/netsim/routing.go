@@ -1,0 +1,265 @@
+package netsim
+
+// The routing model. Every decision is a deterministic function of
+// (seed, entity IDs, churn epoch), with two cached primitives:
+//
+//   - reply catchment: from a source location and origin AS, which site of
+//     a measurement deployment receives a packet addressed to the anycast
+//     prefix. This drives the anycast-based stage (§2.2): unicast targets
+//     normally map to one site; pathologies (ECMP tie-splitting, route
+//     churn) map them to several, producing the method's false positives.
+//   - target catchment: from a vantage point location, which site of an
+//     anycast *target* deployment answers. This drives both which site's
+//     identity is observable and the latency GCD measures.
+//
+// Costs are great circle distance multiplied by a per-(AS, site) "stretch"
+// in [1.15, 1.15+amp] modelling BGP paths not following geography, plus a
+// small constant noise that breaks exact ties deterministically.
+
+type replyKey struct {
+	salt uint64
+	asn  ASN
+	city int32
+}
+
+// replyVal caches the lowest-cost deployment sites in order (up to 4, for
+// ECMP tie sets of width 2–5 truncated to available sites).
+type replyVal struct {
+	top [4]uint16
+	n   uint8
+}
+
+type siteKey struct {
+	tgID int32
+	city int32
+	v6   bool
+}
+
+// stretch amplitude per routing policy (§5.6): transit-only paths are the
+// least geographic, producing both more tie-splits and occasional anycast
+// reply concentration.
+func policyAmp(p RoutingPolicy) float64 {
+	switch p {
+	case PolicyTransitsOnly:
+		return 0.80
+	case PolicyIXPsOnly:
+		return 0.42
+	default:
+		return 0.35
+	}
+}
+
+// extraTieFrac is the additional per-target probability of behaving
+// tie-split under a policy (§5.6: Transits-only found by far the most
+// ACs — transit ASes with equal-cost paths to multiple PoPs).
+func extraTieFrac(p RoutingPolicy) float64 {
+	switch p {
+	case PolicyTransitsOnly:
+		return 0.006
+	case PolicyIXPsOnly:
+		return 0.0012
+	default:
+		return 0
+	}
+}
+
+// replyCatchment returns the ordered lowest-cost deployment sites for
+// packets from (asn, fromCity) to deployment d.
+func (w *World) replyCatchment(d *Deployment, asn ASN, fromCity int) replyVal {
+	key := replyKey{salt: d.salt, asn: asn, city: int32(fromCity)}
+	w.mu.Lock()
+	if v, ok := w.replyCache[key]; ok {
+		w.mu.Unlock()
+		return v
+	}
+	w.mu.Unlock()
+
+	amp := policyAmp(d.Policy)
+	type cs struct {
+		idx  int
+		cost float64
+	}
+	best := make([]cs, 0, len(d.Sites))
+	for i, s := range d.Sites {
+		dist := w.distKm(fromCity, s.CityIdx)
+		str := 1.15 + amp*unitFloat(mix(w.seed, uint64(asn), uint64(s.CityIdx), uint64(fromCity), d.salt))
+		noise := 30 * unitFloat(mix(w.seed, uint64(asn), uint64(i), d.salt, 0x17))
+		best = append(best, cs{idx: i, cost: dist*str + noise})
+	}
+	// Partial selection of the 4 cheapest.
+	var v replyVal
+	for k := 0; k < 4 && k < len(best); k++ {
+		m := k
+		for j := k + 1; j < len(best); j++ {
+			if best[j].cost < best[m].cost {
+				m = j
+			}
+		}
+		best[k], best[m] = best[m], best[k]
+		v.top[k] = uint16(best[k].idx)
+		v.n++
+	}
+	w.mu.Lock()
+	w.replyCache[key] = v
+	w.mu.Unlock()
+	return v
+}
+
+// targetSite returns which site of an anycast target (or which edge PoP of
+// a global-unicast operator) a packet from fromCity reaches.
+func (w *World) targetSite(tg *Target, fromCity int, v6 bool) int {
+	if len(tg.Sites) == 0 {
+		return -1
+	}
+	if len(tg.Sites) == 1 {
+		return 0
+	}
+	key := siteKey{tgID: int32(tg.ID), city: int32(fromCity), v6: v6}
+	w.mu.Lock()
+	if v, ok := w.siteCache[key]; ok {
+		w.mu.Unlock()
+		return int(v)
+	}
+	w.mu.Unlock()
+
+	best, bestCost := 0, 0.0
+	for i, s := range tg.Sites {
+		dist := w.distKm(fromCity, s.CityIdx)
+		str := 1.12 + 0.35*unitFloat(mix(w.seed, uint64(tg.Origin), uint64(s.CityIdx), uint64(fromCity), 0x517e))
+		cost := dist*str + 25*unitFloat(mix(w.seed, uint64(tg.ID), uint64(i), 0x2b))
+		if i == 0 || cost < bestCost {
+			best, bestCost = i, cost
+		}
+	}
+	w.mu.Lock()
+	w.siteCache[key] = uint16(best)
+	w.mu.Unlock()
+	return best
+}
+
+// transientDisturbed reports whether the target experiences a one-day
+// transient routing disturbance on census day `day` (see
+// Config.TransientDisturbFrac).
+func (w *World) transientDisturbed(tg *Target, day int) bool {
+	return w.Cfg.TransientDisturbFrac > 0 &&
+		chance(mix(w.seed, uint64(tg.ID), uint64(day), 0xd157), w.Cfg.TransientDisturbFrac)
+}
+
+// egressEdge returns the city index of the egress PoP a global-unicast
+// operator's reply leaves through for traffic that ingressed near
+// fromCity. Each prefix uses only 2–3 egress edges (hash-selected from the
+// operator's PoPs), which is what caps the number of VPs observing it. On
+// a per-day fraction of days internal traffic engineering concentrates all
+// egress on a single edge, hiding the prefix from the anycast-based stage
+// (Config.GlobalUnicastTEFrac).
+func (w *World) egressEdge(tg *Target, fromCity, day int) int {
+	if len(tg.Sites) == 0 {
+		return tg.CityIdx
+	}
+	if w.Cfg.GlobalUnicastTEFrac > 0 &&
+		chance(mix(w.seed, uint64(tg.ID), uint64(day), 0x7e60), w.Cfg.GlobalUnicastTEFrac) {
+		site := pick(mix(w.seed, uint64(tg.ID), 0xe64e), len(tg.Sites))
+		return tg.Sites[site].CityIdx
+	}
+	k := 2 + pick(mix(w.seed, uint64(tg.ID), 0xe64e), 2) // 2 or 3 egress edges
+	if k > len(tg.Sites) {
+		k = len(tg.Sites)
+	}
+	best, bestD := -1, 0.0
+	for j := 0; j < k; j++ {
+		site := pick(mix(w.seed, uint64(tg.ID), uint64(j), 0xed6e), len(tg.Sites))
+		d := w.distKm(fromCity, tg.Sites[site].CityIdx)
+		if best == -1 || d < bestD {
+			best, bestD = site, d
+		}
+	}
+	return tg.Sites[best].CityIdx
+}
+
+// routeFlipped reports whether the AS's preferred path toward the
+// measurement prefix is flipped to the runner-up at time `at`. Route state
+// is piecewise constant over stability periods, so two probes only observe
+// different states when the measurement span crosses a period boundary —
+// which is why false positives grow with the inter-probe interval (Fig 5)
+// and why MAnycast2's 13-minute sequential sweeps suffered most.
+func (w *World) routeFlipped(tg *Target, at int64, day int) bool {
+	i, ok := w.asIdx[tg.Origin]
+	if !ok {
+		return false
+	}
+	a := &w.ASes[i]
+	var period int64
+	var q float64
+	var group uint64
+	switch {
+	case a.windowActive(day):
+		// Exceptional instability events (the Fig 9 spikes): rapid
+		// flapping, with prefix groups inside the AS flapping
+		// independently — a large share of the AS's prefixes becomes
+		// visible as candidates while the event lasts.
+		period, q, group = 5, 0.5, uint64(tg.ID>>4)
+	case a.Wobbly:
+		period, q = 300, 0.45
+	case a.Drifty:
+		period, q = 7200, 0.45
+	case w.transientDisturbed(tg, day):
+		// A transient per-day disturbance: any target's upstream can have
+		// a bad routing day, flapping over short stability periods. These
+		// one-off false positives rotate over the whole hitlist and
+		// dominate the long-run union of candidates (Fig 10). The period
+		// is shorter than a 32-worker 1-second probe train (31 s), so
+		// synchronized 1-second probing observes the flap while a
+		// 0-second burst does not (Fig 5's 0 s < 1 s gap).
+		period, q, group = 20, 0.5, uint64(tg.ID)
+	default:
+		return false
+	}
+	pidx := at / period
+	return chance(mix(w.seed, uint64(tg.Origin), group, uint64(pidx), 0xf11b), q)
+}
+
+// tieWidth returns the effective ECMP tie width for a target under the
+// deployment's policy: the AS's static width, possibly widened to 2 by a
+// policy-dependent extra chance.
+func (w *World) tieWidth(d *Deployment, tg *Target) int {
+	if i, ok := w.asIdx[tg.Origin]; ok && w.ASes[i].TieSplit {
+		return max(2, w.ASes[i].TieWidth)
+	}
+	if p := extraTieFrac(d.Policy); p > 0 &&
+		chance(mix(w.seed, uint64(tg.ID), d.salt, 0x71e5), p) {
+		return 2
+	}
+	return 0
+}
+
+// receiver resolves which deployment site receives the reply to the
+// probe sent by worker, from a responder at (asn, fromCity).
+func (w *World) receiver(d *Deployment, tg *Target, fromCity, worker int, flow FlowKey, at int64, day int) int {
+	v := w.replyCatchment(d, tg.Origin, fromCity)
+	if v.n == 0 {
+		return 0
+	}
+	if v.n == 1 {
+		return int(v.top[0])
+	}
+	// ECMP tie-splitting: the upstream sprays replies across the tie set
+	// per packet (invariant to payload — §5.1.4's static-probe test).
+	if width := w.tieWidth(d, tg); width > 1 {
+		if width > int(v.n) {
+			width = int(v.n)
+		}
+		return int(v.top[pick(mix(w.seed, uint64(tg.Origin), uint64(worker), d.salt, 0xec8f), width)])
+	}
+	// Rare checksum-hashing load balancers (§5.1.4): split on varying
+	// payload bytes when present.
+	if w.Cfg.ChecksumLBFrac > 0 && flow.VaryingPayload != 0 &&
+		chance(mix(w.seed, uint64(tg.ID), 0xc5a0), w.Cfg.ChecksumLBFrac) {
+		return int(v.top[pick(mix(flow.VaryingPayload, uint64(tg.ID)), 2)])
+	}
+	// Route churn: the preferred path may be flipped to the runner-up
+	// during this probe's stability period.
+	if w.routeFlipped(tg, at, day) {
+		return int(v.top[1])
+	}
+	return int(v.top[0])
+}

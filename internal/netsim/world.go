@@ -1,0 +1,158 @@
+package netsim
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/laces-project/laces/internal/cities"
+)
+
+// World is the simulated Internet: ASes, targets (the hitlist universe),
+// modelled operators, BGP announcements, and a deterministic routing and
+// latency model on top. A World is immutable after New and safe for
+// concurrent use.
+type World struct {
+	Cfg Config
+	DB  *cities.DB
+
+	ASes      []AS
+	Operators []Operator
+
+	TargetsV4 []Target
+	TargetsV6 []Target
+
+	BGPPrefixesV4 []BGPPrefix
+	BGPPrefixesV6 []BGPPrefix
+
+	seed    uint64
+	opASNs  map[ASN]bool
+	asIdx   map[ASN]int
+	cityIdx map[string]int
+	nCities int
+	dist    []float64 // nCities × nCities great circle km
+
+	mu         sync.Mutex
+	replyCache map[replyKey]replyVal
+	siteCache  map[siteKey]uint16
+}
+
+// cityIndex returns the database index of a city by name.
+func (w *World) cityIndex(name string) (int, error) {
+	i, ok := w.cityIdx[name]
+	if !ok {
+		return 0, fmt.Errorf("netsim: unknown city %q", name)
+	}
+	return i, nil
+}
+
+// distKm returns the precomputed great circle distance between two city
+// indices.
+func (w *World) distKm(a, b int) float64 {
+	return w.dist[a*w.nCities+b]
+}
+
+// CityAt returns the city with the given database index.
+func (w *World) CityAt(i int) cities.City { return w.DB.All()[i] }
+
+// ASByNumber returns the AS with the given number.
+func (w *World) ASByNumber(n ASN) (AS, bool) {
+	i, ok := w.asIdx[n]
+	if !ok {
+		return AS{}, false
+	}
+	return w.ASes[i], true
+}
+
+// OperatorByName returns the index of a modelled operator, or -1.
+func (w *World) OperatorByName(name string) int {
+	for i, op := range w.Operators {
+		if op.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Targets returns the target universe for the given address family.
+func (w *World) Targets(v6 bool) []Target {
+	if v6 {
+		return w.TargetsV6
+	}
+	return w.TargetsV4
+}
+
+// BGPPrefixes returns the announcement table for the address family.
+func (w *World) BGPPrefixes(v6 bool) []BGPPrefix {
+	if v6 {
+		return w.BGPPrefixesV6
+	}
+	return w.BGPPrefixesV4
+}
+
+// NewDeployment builds a measurement deployment whose sites are at the
+// named cities (which must exist in the world's city database).
+func (w *World) NewDeployment(name string, cityNames []string, policy RoutingPolicy) (*Deployment, error) {
+	var cs []cities.City
+	for _, n := range cityNames {
+		i, err := w.cityIndex(n)
+		if err != nil {
+			return nil, err
+		}
+		cs = append(cs, w.DB.All()[i])
+	}
+	d := NewDeployment(name, cs, policy)
+	for i := range d.Sites {
+		idx, _ := w.cityIndex(d.Sites[i].City.Name)
+		d.Sites[i].CityIdx = idx
+	}
+	return d, nil
+}
+
+// NewVP builds a unicast vantage point at the named city. The host AS is
+// chosen deterministically from the world's AS population unless hostASN
+// is non-zero.
+func (w *World) NewVP(name, cityName string, hostASN ASN) (VP, error) {
+	idx, err := w.cityIndex(cityName)
+	if err != nil {
+		return VP{}, err
+	}
+	if hostASN == 0 {
+		h := mix(w.seed, hashString("vp-host"), hashString(name))
+		hostASN = w.ASes[pick(h, len(w.ASes))].Number
+	}
+	return VP{
+		Name:    name,
+		Loc:     w.DB.All()[idx].Location,
+		CityIdx: idx,
+		Host:    hostASN,
+	}, nil
+}
+
+// SampleCity picks a population-weighted city index deterministically
+// from (salt, index); platform builders use it to place vantage points.
+func (w *World) SampleCity(i uint64, salt string) int {
+	return w.sampleCityWeighted(mix(w.seed, hashString(salt), i))
+}
+
+// GroundTruthAnycast returns the IDs of targets whose representative
+// address is truly anycast on census day d — the oracle §6 validates
+// against.
+func (w *World) GroundTruthAnycast(v6 bool, day int) map[int]bool {
+	out := make(map[int]bool)
+	for i := range w.Targets(v6) {
+		t := &w.Targets(v6)[i]
+		if t.IsAnycastAt(day) {
+			out[t.ID] = true
+		}
+	}
+	return out
+}
+
+// hashString folds a string into a uint64 for seeding.
+func hashString(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}

@@ -1,0 +1,329 @@
+// Package orchestrator implements the central LACeS controller (§4.2.1):
+// it accepts Worker and CLI connections, forwards measurement definitions,
+// streams hitlist targets to all workers at the CLI-defined rate
+// (synchronized probing, §4.2.3), aggregates the result streams from all
+// workers into a single stream towards the CLI, and keeps measurements
+// running when workers disconnect mid-run (failure awareness).
+package orchestrator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"github.com/laces-project/laces/internal/rate"
+	"github.com/laces-project/laces/internal/wire"
+)
+
+// Config parameterises an Orchestrator.
+type Config struct {
+	// Addr is the TCP listen address, e.g. "127.0.0.1:4000"; use ":0" for
+	// an ephemeral port in tests.
+	Addr string
+	// BatchSize is the number of targets per streamed frame.
+	BatchSize int
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Orchestrator accepts workers and serves measurement requests.
+type Orchestrator struct {
+	cfg Config
+	ln  net.Listener
+
+	mu      sync.Mutex
+	workers map[int]*workerConn
+	nextIdx int
+	active  *measurement
+}
+
+type workerConn struct {
+	idx  int
+	name string
+	conn *wire.Conn
+}
+
+// measurement is the state of the (single) in-flight measurement.
+type measurement struct {
+	results  chan wire.Result
+	done     chan int      // worker indices reporting completion
+	gone     chan int      // worker indices lost mid-measurement
+	finished chan struct{} // closed at teardown so producers never block
+}
+
+// New starts listening.
+func New(cfg Config) (*Orchestrator, error) {
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1000
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("orchestrator: listening on %s: %w", cfg.Addr, err)
+	}
+	return &Orchestrator{
+		cfg:     cfg,
+		ln:      ln,
+		workers: make(map[int]*workerConn),
+	}, nil
+}
+
+// Addr returns the bound listen address.
+func (o *Orchestrator) Addr() string { return o.ln.Addr().String() }
+
+// NumWorkers returns the number of currently connected workers.
+func (o *Orchestrator) NumWorkers() int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.workers)
+}
+
+// Serve accepts connections until ctx is cancelled.
+func (o *Orchestrator) Serve(ctx context.Context) error {
+	go func() {
+		<-ctx.Done()
+		o.ln.Close()
+	}()
+	for {
+		nc, err := o.ln.Accept()
+		if err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("orchestrator: accept: %w", err)
+		}
+		go o.handle(ctx, wire.NewConn(nc))
+	}
+}
+
+// handle dispatches one connection by its hello role.
+func (o *Orchestrator) handle(ctx context.Context, conn *wire.Conn) {
+	defer conn.Close()
+	typ, raw, err := conn.Read()
+	if err != nil || typ != wire.MsgHello {
+		return
+	}
+	hello, err := wire.Decode[wire.Hello](raw)
+	if err != nil {
+		return
+	}
+	switch hello.Role {
+	case "worker":
+		o.handleWorker(conn, hello)
+	case "cli":
+		o.handleCLI(ctx, conn)
+	default:
+		_ = conn.Write(wire.MsgError, wire.ErrorMsg{Text: "unknown role " + hello.Role})
+	}
+}
+
+// handleWorker registers the worker and pumps its frames until it
+// disconnects.
+func (o *Orchestrator) handleWorker(conn *wire.Conn, hello wire.Hello) {
+	o.mu.Lock()
+	idx := o.nextIdx
+	o.nextIdx++
+	wc := &workerConn{idx: idx, name: hello.Name, conn: conn}
+	o.workers[idx] = wc
+	total := len(o.workers)
+	o.mu.Unlock()
+	o.cfg.Logf("orchestrator: worker %s connected as site %d (%d online)", hello.Name, idx, total)
+
+	if err := conn.Write(wire.MsgHelloAck, wire.HelloAck{Worker: idx, Workers: total}); err != nil {
+		o.dropWorker(idx)
+		return
+	}
+	for {
+		typ, raw, err := conn.Read()
+		if err != nil {
+			o.dropWorker(idx)
+			return
+		}
+		o.mu.Lock()
+		m := o.active
+		o.mu.Unlock()
+		switch typ {
+		case wire.MsgResult:
+			if m == nil {
+				continue // stale result after completion: drop
+			}
+			res, err := wire.Decode[wire.Result](raw)
+			if err != nil {
+				continue
+			}
+			select {
+			case m.results <- res:
+			case <-m.finished:
+				// Measurement tore down while this result was in flight;
+				// drop it rather than block the worker's frame pump.
+			}
+		case wire.MsgWorkerDone:
+			if m != nil {
+				m.done <- idx
+			}
+		}
+	}
+}
+
+// dropWorker removes a disconnected worker and informs the active
+// measurement so it does not wait for it (§4.2.3 failure awareness).
+func (o *Orchestrator) dropWorker(idx int) {
+	o.mu.Lock()
+	delete(o.workers, idx)
+	m := o.active
+	o.mu.Unlock()
+	o.cfg.Logf("orchestrator: worker %d disconnected", idx)
+	if m != nil {
+		select {
+		case m.gone <- idx:
+		default:
+		}
+	}
+}
+
+// handleCLI serves one measurement request.
+func (o *Orchestrator) handleCLI(ctx context.Context, conn *wire.Conn) {
+	typ, raw, err := conn.Read()
+	if err != nil || typ != wire.MsgRun {
+		return
+	}
+	req, err := wire.Decode[wire.Run](raw)
+	if err != nil {
+		_ = conn.Write(wire.MsgError, wire.ErrorMsg{Text: err.Error()})
+		return
+	}
+	if err := o.runMeasurement(ctx, conn, req); err != nil {
+		_ = conn.Write(wire.MsgError, wire.ErrorMsg{Text: err.Error()})
+	}
+}
+
+// runMeasurement executes one measurement across the connected workers,
+// forwarding every result frame to the CLI.
+func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req wire.Run) error {
+	o.mu.Lock()
+	if o.active != nil {
+		o.mu.Unlock()
+		return errors.New("orchestrator: a measurement is already running")
+	}
+	m := &measurement{
+		results:  make(chan wire.Result, 4096),
+		done:     make(chan int, 64),
+		gone:     make(chan int, 64),
+		finished: make(chan struct{}),
+	}
+	o.active = m
+	participants := make([]*workerConn, 0, len(o.workers))
+	for _, wc := range o.workers {
+		participants = append(participants, wc)
+	}
+	o.mu.Unlock()
+	defer func() {
+		close(m.finished)
+		o.mu.Lock()
+		o.active = nil
+		o.mu.Unlock()
+	}()
+
+	if len(participants) == 0 {
+		return errors.New("orchestrator: no workers connected")
+	}
+	o.cfg.Logf("orchestrator: measurement %d over %d targets with %d workers",
+		req.Def.ID, len(req.Targets), len(participants))
+
+	// Instruct all workers that a measurement is starting (§4.2.2).
+	alive := make(map[int]*workerConn, len(participants))
+	for _, wc := range participants {
+		if err := wc.conn.Write(wire.MsgStart, req.Def); err != nil {
+			o.dropWorker(wc.idx)
+			continue
+		}
+		alive[wc.idx] = wc
+	}
+	if len(alive) == 0 {
+		return errors.New("orchestrator: all workers failed at start")
+	}
+
+	// Stream targets to every worker at the CLI-defined rate. Workers
+	// probe as targets arrive; the per-worker probe offset is applied at
+	// the worker (its site index shifts its probe schedule).
+	limiter, err := rate.NewLimiter(maxf(req.Def.Rate, 1), o.cfg.BatchSize, nil)
+	if err != nil {
+		return err
+	}
+	go func() {
+		for base := 0; base < len(req.Targets); base += o.cfg.BatchSize {
+			end := base + o.cfg.BatchSize
+			if end > len(req.Targets) {
+				end = len(req.Targets)
+			}
+			for i := base; i < end; i++ {
+				if err := limiter.Wait(ctx); err != nil {
+					return
+				}
+			}
+			batch := wire.Targets{Base: base, Addrs: req.Targets[base:end]}
+			for idx, wc := range alive {
+				if err := wc.conn.Write(wire.MsgTargets, batch); err != nil {
+					o.dropWorker(idx)
+				}
+			}
+		}
+		for idx, wc := range alive {
+			if err := wc.conn.Write(wire.MsgEndTargets, struct{}{}); err != nil {
+				o.dropWorker(idx)
+			}
+		}
+	}()
+
+	// Aggregate: forward results until every (surviving) worker reports
+	// done. Worker loss mid-measurement reduces the quorum instead of
+	// hanging the run.
+	pending := make(map[int]bool, len(alive))
+	for idx := range alive {
+		pending[idx] = true
+	}
+	var forwarded int64
+	timeout := time.NewTimer(5 * time.Minute)
+	defer timeout.Stop()
+	for len(pending) > 0 {
+		select {
+		case res := <-m.results:
+			forwarded++
+			if err := cli.Write(wire.MsgResult, res); err != nil {
+				return fmt.Errorf("orchestrator: CLI went away: %w", err)
+			}
+		case idx := <-m.done:
+			delete(pending, idx)
+		case idx := <-m.gone:
+			delete(pending, idx)
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-timeout.C:
+			return errors.New("orchestrator: measurement timed out")
+		}
+	}
+	// Drain results that raced with the final done frames.
+	for {
+		select {
+		case res := <-m.results:
+			forwarded++
+			if err := cli.Write(wire.MsgResult, res); err != nil {
+				return err
+			}
+		default:
+			return cli.Write(wire.MsgComplete, wire.Complete{Results: forwarded, Workers: len(alive)})
+		}
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

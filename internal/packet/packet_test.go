@@ -1,0 +1,97 @@
+package packet
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumRFC1071Example(t *testing.T) {
+	// Example from RFC 1071 §3: words 0001 f203 f4f5 f6f7 sum to ddf2
+	// (pre-complement); the checksum is its complement 0x220d.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data, 0); got != 0x220d {
+		t.Fatalf("Checksum = %#04x, want 0x220d", got)
+	}
+}
+
+func TestChecksumOddLength(t *testing.T) {
+	// Trailing odd byte is padded with zero on the right.
+	if got, want := Checksum([]byte{0xff}, 0), ^uint16(0xff00); got != want {
+		t.Fatalf("Checksum odd = %#04x, want %#04x", got, want)
+	}
+}
+
+func TestChecksumEmpty(t *testing.T) {
+	if got := Checksum(nil, 0); got != 0xffff {
+		t.Fatalf("Checksum(nil) = %#04x, want 0xffff", got)
+	}
+}
+
+func TestChecksumVerifiesToZero(t *testing.T) {
+	// Property: embedding the checksum of data into the data makes the
+	// whole verify to 0 — the standard Internet checksum validity test.
+	f := func(data []byte) bool {
+		if len(data)%2 == 1 {
+			data = append(data, 0) // checksum field must be 16-bit aligned
+		}
+		buf := make([]byte, len(data)+2)
+		copy(buf, data)
+		cs := Checksum(buf, 0) // checksum with zeroed checksum field at end
+		put16(buf, len(data), cs)
+		return Checksum(buf, 0) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDetectsBitFlip(t *testing.T) {
+	f := func(data []byte, pos uint16, bit uint8) bool {
+		if len(data) < 4 {
+			return true
+		}
+		buf := make([]byte, len(data)+2)
+		copy(buf, data)
+		put16(buf, len(data), Checksum(buf[:len(data)], 0))
+		// flip one bit
+		p := int(pos) % len(data)
+		buf[p] ^= 1 << (bit % 8)
+		return Checksum(buf, 0) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProtocolString(t *testing.T) {
+	cases := map[Protocol]string{ICMP: "ICMP", TCP: "TCP", DNS: "DNS", Protocol(9): "Protocol(9)"}
+	for p, want := range cases {
+		if p.String() != want {
+			t.Errorf("Protocol(%d).String() = %q, want %q", p, p, want)
+		}
+	}
+}
+
+func TestParseProtocolRoundTrip(t *testing.T) {
+	for _, p := range Protocols() {
+		got, err := ParseProtocol(p.String())
+		if err != nil || got != p {
+			t.Errorf("ParseProtocol(%q) = %v, %v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProtocol("QUIC"); err == nil {
+		t.Error("ParseProtocol of unknown name should fail")
+	}
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	f := func(v16 uint16, v32 uint32) bool {
+		b := make([]byte, 6)
+		put16(b, 0, v16)
+		put32(b, 2, v32)
+		return get16(b, 0) == v16 && get32(b, 2) == v32
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

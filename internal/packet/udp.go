@@ -1,0 +1,81 @@
+package packet
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// UDPHeaderLen is the fixed UDP header length.
+const UDPHeaderLen = 8
+
+// DNSPort is the well-known DNS port.
+const DNSPort = 53
+
+// UDPDatagram is a UDP header plus payload.
+type UDPDatagram struct {
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// AppendTo appends the encoded datagram with a correct pseudo-header
+// checksum for the given address pair.
+func (u *UDPDatagram) AppendTo(dst []byte, src, dstAddr netip.Addr) ([]byte, error) {
+	if src.Is4() != dstAddr.Is4() {
+		return nil, fmt.Errorf("udp: mixed address families (src=%v dst=%v)", src, dstAddr)
+	}
+	total := UDPHeaderLen + len(u.Payload)
+	if total > 0xffff {
+		return nil, fmt.Errorf("udp: datagram length %d exceeds 65535", total)
+	}
+	off := len(dst)
+	var b [UDPHeaderLen]byte
+	put16(b[:], 0, u.SrcPort)
+	put16(b[:], 2, u.DstPort)
+	put16(b[:], 4, uint16(total))
+	dst = append(dst, b[:]...)
+	dst = append(dst, u.Payload...)
+
+	var initial uint32
+	if src.Is4() {
+		sa, da := src.As4(), dstAddr.As4()
+		initial = pseudoHeaderSum(sa[:], da[:], ProtoUDP, total)
+	} else {
+		sa, da := src.As16(), dstAddr.As16()
+		initial = pseudoHeaderSum(sa[:], da[:], ProtoUDP, total)
+	}
+	cs := Checksum(dst[off:], initial)
+	if cs == 0 {
+		cs = 0xffff // RFC 768: transmitted zero means "no checksum"
+	}
+	put16(dst, off+6, cs)
+	return dst, nil
+}
+
+// DecodeFrom parses a UDP datagram and verifies the checksum (unless the
+// sender disabled it by transmitting zero). The Payload slice aliases b.
+func (u *UDPDatagram) DecodeFrom(b []byte, src, dst netip.Addr) error {
+	if len(b) < UDPHeaderLen {
+		return fmt.Errorf("udp: %w", ErrTruncated)
+	}
+	length := int(get16(b, 4))
+	if length < UDPHeaderLen || length > len(b) {
+		return fmt.Errorf("udp: length field %d outside datagram of %d bytes: %w", length, len(b), ErrTruncated)
+	}
+	if get16(b, 6) != 0 {
+		var initial uint32
+		if src.Is4() && dst.Is4() {
+			sa, da := src.As4(), dst.As4()
+			initial = pseudoHeaderSum(sa[:], da[:], ProtoUDP, length)
+		} else {
+			sa, da := src.As16(), dst.As16()
+			initial = pseudoHeaderSum(sa[:], da[:], ProtoUDP, length)
+		}
+		if cs := Checksum(b[:length], initial); cs != 0 && cs != 0xffff {
+			return fmt.Errorf("udp: %w", ErrBadChecksum)
+		}
+	}
+	u.SrcPort = get16(b, 0)
+	u.DstPort = get16(b, 2)
+	u.Payload = b[UDPHeaderLen:length]
+	return nil
+}

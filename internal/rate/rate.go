@@ -1,0 +1,225 @@
+// Package rate implements the probing-rate control LACeS uses to satisfy
+// its "responsible measurement" requirement (R3): the Orchestrator streams
+// hitlist targets to Workers at a CLI-defined rate, and §5.5.2 of the paper
+// shows accuracy is maintained even at 1/8th the normal rate.
+//
+// Two abstractions are provided:
+//
+//   - Limiter: a classic token bucket, safe for concurrent use, with both
+//     blocking (Wait) and non-blocking (Allow) acquisition and an
+//     injectable clock so simulations and tests never sleep.
+//   - Pacer: converts a desired packets-per-second rate into the precise
+//     send timestamp for the i-th probe, which is what the Orchestrator
+//     uses to schedule synchronized probes with per-worker offsets.
+package rate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Clock abstracts time for testability. The zero Limiter uses the real
+// clock.
+type Clock interface {
+	Now() time.Time
+	// Sleep waits for d or until ctx is done, returning ctx.Err() in the
+	// latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// ErrRateZero is returned when constructing a limiter or pacer with a
+// non-positive rate.
+var ErrRateZero = errors.New("rate: packets-per-second must be positive")
+
+// Limiter is a token bucket: capacity Burst tokens, refilled at PerSecond
+// tokens per second. A Limiter must be created with NewLimiter.
+type Limiter struct {
+	perSecond float64
+	burst     float64
+	clock     Clock
+
+	mu     sync.Mutex
+	tokens float64
+	last   time.Time
+}
+
+// NewLimiter returns a token bucket producing perSecond tokens per second
+// with the given burst capacity (minimum 1). A nil clock uses real time.
+func NewLimiter(perSecond float64, burst int, clock Clock) (*Limiter, error) {
+	if perSecond <= 0 {
+		return nil, ErrRateZero
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	if clock == nil {
+		clock = realClock{}
+	}
+	return &Limiter{
+		perSecond: perSecond,
+		burst:     float64(burst),
+		clock:     clock,
+		tokens:    float64(burst),
+		last:      clock.Now(),
+	}, nil
+}
+
+// Rate returns the configured tokens-per-second rate.
+func (l *Limiter) Rate() float64 { return l.perSecond }
+
+// refillLocked advances the bucket to now. Caller holds l.mu.
+func (l *Limiter) refillLocked(now time.Time) {
+	elapsed := now.Sub(l.last)
+	if elapsed <= 0 {
+		return
+	}
+	l.last = now
+	l.tokens += elapsed.Seconds() * l.perSecond
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+}
+
+// Allow reports whether one token is immediately available, consuming it
+// if so.
+func (l *Limiter) Allow() bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.refillLocked(l.clock.Now())
+	if l.tokens >= 1 {
+		l.tokens--
+		return true
+	}
+	return false
+}
+
+// Wait blocks until a token is available or ctx is done.
+func (l *Limiter) Wait(ctx context.Context) error {
+	for {
+		l.mu.Lock()
+		now := l.clock.Now()
+		l.refillLocked(now)
+		if l.tokens >= 1 {
+			l.tokens--
+			l.mu.Unlock()
+			return nil
+		}
+		need := 1 - l.tokens
+		wait := time.Duration(need / l.perSecond * float64(time.Second))
+		l.mu.Unlock()
+		if err := l.clock.Sleep(ctx, wait); err != nil {
+			return fmt.Errorf("rate: waiting for token: %w", err)
+		}
+	}
+}
+
+// Pacer computes deterministic send times for a sequence of probes sent at
+// a fixed rate starting from a base time. Unlike Limiter it holds no
+// mutable state, so the Orchestrator can compute the schedule of probe i
+// for worker w as:
+//
+//	send(i, w) = Start + i/Rate + w×Offset
+//
+// which is exactly the synchronized probing scheme of §4.2.3: every target
+// receives one probe from each worker, spaced Offset apart, while the
+// hitlist is consumed at Rate targets/second.
+type Pacer struct {
+	start  time.Time
+	period time.Duration
+	offset time.Duration
+}
+
+// NewPacer creates a pacer for the given targets-per-second rate and
+// inter-worker offset.
+func NewPacer(start time.Time, perSecond float64, workerOffset time.Duration) (*Pacer, error) {
+	if perSecond <= 0 {
+		return nil, ErrRateZero
+	}
+	return &Pacer{
+		start:  start,
+		period: time.Duration(float64(time.Second) / perSecond),
+		offset: workerOffset,
+	}, nil
+}
+
+// SendTime returns the scheduled transmit time of the probe for target
+// index i from worker index w.
+func (p *Pacer) SendTime(i, w int) time.Time {
+	return p.start.Add(time.Duration(i)*p.period + time.Duration(w)*p.offset)
+}
+
+// Duration returns the total wall-clock time needed to probe n targets
+// with nWorkers workers: the send time of the last probe plus one period.
+func (p *Pacer) Duration(n, nWorkers int) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	last := time.Duration(n-1)*p.period + time.Duration(nWorkers-1)*p.offset
+	return last + p.period
+}
+
+// Period returns the inter-target spacing.
+func (p *Pacer) Period() time.Duration { return p.period }
+
+// Offset returns the inter-worker spacing.
+func (p *Pacer) Offset() time.Duration { return p.offset }
+
+// FakeClock is a manually advanced clock for tests and simulation. It
+// implements Clock. Sleep advances the clock instead of blocking, which
+// lets rate-limited pipelines run at full speed deterministically.
+type FakeClock struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewFakeClock returns a FakeClock starting at start.
+func NewFakeClock(start time.Time) *FakeClock {
+	return &FakeClock{now: start}
+}
+
+// Now returns the current fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the fake clock by d immediately.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	c.Advance(d)
+	return nil
+}
+
+// Advance moves the clock forward by d (negative d is ignored).
+func (c *FakeClock) Advance(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}

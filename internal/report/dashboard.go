@@ -1,0 +1,119 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"github.com/laces-project/laces/internal/core"
+)
+
+// Dashboard renders a text dashboard over a series of census documents —
+// the information the paper's public dashboard surfaces: detection-count
+// trends per method, the largest origin ASes, confidence composition, and
+// churn between consecutive snapshots.
+func Dashboard(w io.Writer, docs []*core.Document) error {
+	if len(docs) == 0 {
+		return fmt.Errorf("report: dashboard needs at least one census document")
+	}
+	sorted := make([]*core.Document, len(docs))
+	copy(sorted, docs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Date < sorted[j].Date })
+
+	latest := sorted[len(sorted)-1]
+	if _, err := fmt.Fprintf(w, "LACeS census dashboard — %s (%s), %d snapshots\n\n",
+		latest.Date, latest.Family, len(sorted)); err != nil {
+		return err
+	}
+
+	// Trend: G and M counts per snapshot as scaled bars.
+	maxCount := 1
+	for _, d := range sorted {
+		if d.GCount+d.MCount > maxCount {
+			maxCount = d.GCount + d.MCount
+		}
+	}
+	if _, err := fmt.Fprintln(w, "detections per snapshot (█ GCD-confirmed, ░ anycast-based only):"); err != nil {
+		return err
+	}
+	for _, d := range sorted {
+		const width = 48
+		g := d.GCount * width / maxCount
+		m := d.MCount * width / maxCount
+		if _, err := fmt.Fprintf(w, "  %s  %s%s %6d G %6d M\n",
+			d.Date, strings.Repeat("█", g), strings.Repeat("░", m), d.GCount, d.MCount); err != nil {
+			return err
+		}
+	}
+
+	// Composition of the latest snapshot.
+	var conf2, conf3, confMore, partial, globalBGP int
+	perAS := make(map[uint32]int)
+	for i := range latest.Entries {
+		e := &latest.Entries[i]
+		switch {
+		case e.MaxReceivers == 2:
+			conf2++
+		case e.MaxReceivers == 3:
+			conf3++
+		case e.MaxReceivers > 3:
+			confMore++
+		}
+		if e.PartialAnycast {
+			partial++
+		}
+		if e.GlobalBGP {
+			globalBGP++
+		}
+		if e.InG() {
+			perAS[e.OriginASN]++
+		}
+	}
+	if _, err := fmt.Fprintf(w, "\nconfidence (receiving VPs): 2 → %d (low, §5.1.3), 3 → %d, 4+ → %d\n",
+		conf2, conf3, confMore); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "annotations: partial-anycast %d, global-BGP unicast %d\n",
+		partial, globalBGP); err != nil {
+		return err
+	}
+
+	// Top origins (the Table 5 view).
+	type asCount struct {
+		asn uint32
+		n   int
+	}
+	tops := make([]asCount, 0, len(perAS))
+	for asn, n := range perAS {
+		tops = append(tops, asCount{asn, n})
+	}
+	sort.Slice(tops, func(i, j int) bool {
+		if tops[i].n != tops[j].n {
+			return tops[i].n > tops[j].n
+		}
+		return tops[i].asn < tops[j].asn
+	})
+	if len(tops) > 5 {
+		tops = tops[:5]
+	}
+	if _, err := fmt.Fprintln(w, "\nlargest origin ASes in G:"); err != nil {
+		return err
+	}
+	for i, t := range tops {
+		if _, err := fmt.Fprintf(w, "  %d. AS%-8d %d prefixes\n", i+1, t.asn, t.n); err != nil {
+			return err
+		}
+	}
+
+	// Churn between the last two snapshots.
+	if len(sorted) >= 2 {
+		d := Diff(sorted[len(sorted)-2], latest)
+		if _, err := fmt.Fprintf(w, "\nchurn %s → %s: +%d appeared, −%d withdrawn, %d confirmed, %d unconfirmed\n",
+			d.From, d.To, d.Counts[Appeared], d.Counts[Withdrawn],
+			d.Counts[Confirmed], d.Counts[Unconfirmed]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

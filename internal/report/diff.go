@@ -1,0 +1,220 @@
+// Package report implements downstream tooling over published census
+// documents: day-over-day diffing and a text dashboard. The paper
+// publishes daily censuses to a public repository with a companion
+// dashboard [manycast.net]; this package is the consumer side — the
+// operations the project's own monitoring and its data users perform on
+// the snapshots (new and withdrawn anycast, confidence changes,
+// deployment growth, temporary-anycast churn).
+package report
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/laces-project/laces/internal/core"
+)
+
+// Change classifies one prefix's day-over-day transition.
+type Change uint8
+
+// Change kinds.
+const (
+	// Appeared: the prefix entered the census (switched to anycast, or a
+	// new false positive — §7's daily-AC value analysis).
+	Appeared Change = iota
+	// Withdrawn: the prefix left the census entirely.
+	Withdrawn
+	// Confirmed: moved ℳ → 𝒢 (GCD now agrees).
+	Confirmed
+	// Unconfirmed: moved 𝒢 → ℳ (GCD no longer agrees).
+	Unconfirmed
+	// SitesChanged: the enumerated site count moved materially
+	// (deployment growth or shrinkage — §7 tracks e.g. the .cz
+	// expansion).
+	SitesChanged
+	// FlagsChanged: partial-anycast or global-BGP annotations changed.
+	FlagsChanged
+)
+
+// String names the change kind.
+func (c Change) String() string {
+	switch c {
+	case Appeared:
+		return "appeared"
+	case Withdrawn:
+		return "withdrawn"
+	case Confirmed:
+		return "confirmed"
+	case Unconfirmed:
+		return "unconfirmed"
+	case SitesChanged:
+		return "sites-changed"
+	case FlagsChanged:
+		return "flags-changed"
+	default:
+		return fmt.Sprintf("Change(%d)", uint8(c))
+	}
+}
+
+// Delta is one prefix's transition between two census documents.
+type Delta struct {
+	Prefix string
+	Origin uint32
+	Kind   Change
+	// SitesBefore/SitesAfter accompany SitesChanged.
+	SitesBefore, SitesAfter int
+	// Note is a short human-readable explanation.
+	Note string
+}
+
+// DiffResult summarises the transition between two census days.
+type DiffResult struct {
+	From, To string // dates
+	// Counts of each change kind.
+	Counts map[Change]int
+	// Deltas lists every change, ordered by kind then prefix.
+	Deltas []Delta
+	// GBefore/GAfter and MBefore/MAfter are the headline counts.
+	GBefore, GAfter, MBefore, MAfter int
+}
+
+// siteDeltaThreshold is the minimum enumerated-site movement reported as
+// SitesChanged; ±1 site is within enumeration noise (§5.2: counts are
+// lower bounds that vary with participating VPs).
+const siteDeltaThreshold = 2
+
+// Diff compares two census documents (typically consecutive days, same
+// family).
+func Diff(old, new *core.Document) *DiffResult {
+	r := &DiffResult{
+		From:    old.Date,
+		To:      new.Date,
+		Counts:  make(map[Change]int),
+		GBefore: old.GCount, GAfter: new.GCount,
+		MBefore: old.MCount, MAfter: new.MCount,
+	}
+	oldBy := entryIndex(old)
+	newBy := entryIndex(new)
+
+	add := func(d Delta) {
+		r.Counts[d.Kind]++
+		r.Deltas = append(r.Deltas, d)
+	}
+
+	for p, oe := range oldBy {
+		ne, ok := newBy[p]
+		if !ok {
+			add(Delta{Prefix: p, Origin: oe.OriginASN, Kind: Withdrawn,
+				Note: "no longer detected by any method"})
+			continue
+		}
+		switch {
+		case oe.InM() && ne.InG():
+			add(Delta{Prefix: p, Origin: ne.OriginASN, Kind: Confirmed,
+				Note: "GCD now confirms the anycast-based candidate"})
+		case oe.InG() && ne.InM():
+			add(Delta{Prefix: p, Origin: ne.OriginASN, Kind: Unconfirmed,
+				Note: "GCD no longer confirms; anycast-based only"})
+		}
+		if oe.InG() && ne.InG() && abs(ne.GCDSites-oe.GCDSites) >= siteDeltaThreshold {
+			add(Delta{Prefix: p, Origin: ne.OriginASN, Kind: SitesChanged,
+				SitesBefore: oe.GCDSites, SitesAfter: ne.GCDSites,
+				Note: fmt.Sprintf("enumerated sites %d → %d", oe.GCDSites, ne.GCDSites)})
+		}
+		if oe.PartialAnycast != ne.PartialAnycast || oe.GlobalBGP != ne.GlobalBGP {
+			add(Delta{Prefix: p, Origin: ne.OriginASN, Kind: FlagsChanged,
+				Note: flagNote(oe, ne)})
+		}
+	}
+	for p, ne := range newBy {
+		if _, ok := oldBy[p]; !ok {
+			add(Delta{Prefix: p, Origin: ne.OriginASN, Kind: Appeared,
+				Note: appearNote(ne)})
+		}
+	}
+
+	sort.Slice(r.Deltas, func(i, j int) bool {
+		if r.Deltas[i].Kind != r.Deltas[j].Kind {
+			return r.Deltas[i].Kind < r.Deltas[j].Kind
+		}
+		return r.Deltas[i].Prefix < r.Deltas[j].Prefix
+	})
+	return r
+}
+
+func entryIndex(d *core.Document) map[string]*core.DocumentEntry {
+	out := make(map[string]*core.DocumentEntry, len(d.Entries))
+	for i := range d.Entries {
+		out[d.Entries[i].Prefix] = &d.Entries[i]
+	}
+	return out
+}
+
+func appearNote(e *core.DocumentEntry) string {
+	switch {
+	case e.InG():
+		return "new, GCD-confirmed"
+	case e.InM():
+		return "new anycast-based candidate (unconfirmed — possible FP or temporary anycast)"
+	default:
+		return "new partial-anycast annotation"
+	}
+}
+
+func flagNote(o, n *core.DocumentEntry) string {
+	switch {
+	case !o.PartialAnycast && n.PartialAnycast:
+		return "partial anycast detected inside the prefix"
+	case o.PartialAnycast && !n.PartialAnycast:
+		return "partial-anycast annotation cleared"
+	case !o.GlobalBGP && n.GlobalBGP:
+		return "traceroute now confirms global-BGP unicast"
+	default:
+		return "global-BGP annotation cleared"
+	}
+}
+
+func abs(n int) int {
+	if n < 0 {
+		return -n
+	}
+	return n
+}
+
+// Render prints the diff: a headline, per-kind counts, and the first
+// examples of each kind.
+func (r *DiffResult) Render(w io.Writer, maxPerKind int) error {
+	if maxPerKind <= 0 {
+		maxPerKind = 10
+	}
+	if _, err := fmt.Fprintf(w, "census diff %s → %s\n  G %d → %d, M %d → %d\n",
+		r.From, r.To, r.GBefore, r.GAfter, r.MBefore, r.MAfter); err != nil {
+		return err
+	}
+	for k := Appeared; k <= FlagsChanged; k++ {
+		n := r.Counts[k]
+		if n == 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "  %-13s %d\n", k.String()+":", n); err != nil {
+			return err
+		}
+		shown := 0
+		for _, d := range r.Deltas {
+			if d.Kind != k || shown >= maxPerKind {
+				continue
+			}
+			shown++
+			if _, err := fmt.Fprintf(w, "    %-22s AS%-7d %s\n", d.Prefix, d.Origin, d.Note); err != nil {
+				return err
+			}
+		}
+		if n > shown {
+			if _, err := fmt.Fprintf(w, "    … and %d more\n", n-shown); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+// Package wire defines the message protocol between the three LACeS
+// components (§4.2.1): the CLI that defines measurements, the central
+// Orchestrator, and the Workers deployed at the anycast sites.
+//
+// Frames are length-prefixed: a 4-byte big-endian payload length, a 1-byte
+// message type, and a JSON payload. JSON keeps the protocol debuggable and
+// the worker binary small; the probing hot path never serialises per-probe
+// state (targets stream in batches, results stream back one frame per
+// reply, and the Orchestrator performs all aggregation — Workers hold no
+// hitlist and no result store, §4.2.3).
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+// Protocol messages.
+const (
+	MsgHello      MsgType = iota + 1 // Worker/CLI → Orchestrator: introduce
+	MsgHelloAck                      // Orchestrator → Worker: assigned index
+	MsgStart                         // Orchestrator → Worker: measurement definition
+	MsgTargets                       // Orchestrator → Worker: hitlist batch
+	MsgEndTargets                    // Orchestrator → Worker: hitlist complete
+	MsgResult                        // Worker → Orchestrator → CLI: one reply
+	MsgWorkerDone                    // Worker → Orchestrator: finished probing
+	MsgComplete                      // Orchestrator → CLI: measurement complete
+	MsgError                         // any → any: fatal error
+	MsgRun                           // CLI → Orchestrator: run a measurement
+)
+
+// String names the message type.
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "hello"
+	case MsgHelloAck:
+		return "hello-ack"
+	case MsgStart:
+		return "start"
+	case MsgTargets:
+		return "targets"
+	case MsgEndTargets:
+		return "end-targets"
+	case MsgResult:
+		return "result"
+	case MsgWorkerDone:
+		return "worker-done"
+	case MsgComplete:
+		return "complete"
+	case MsgError:
+		return "error"
+	case MsgRun:
+		return "run"
+	default:
+		return fmt.Sprintf("MsgType(%d)", uint8(t))
+	}
+}
+
+// MaxFrame bounds a frame payload; larger frames indicate protocol
+// corruption.
+const MaxFrame = 16 << 20
+
+// Hello introduces a connection to the Orchestrator.
+type Hello struct {
+	Role string `json:"role"` // "worker" or "cli"
+	Name string `json:"name"`
+}
+
+// HelloAck assigns a worker its site index.
+type HelloAck struct {
+	Worker  int `json:"worker"`
+	Workers int `json:"workers"` // total expected sites
+}
+
+// MeasurementDef is the measurement definition the CLI creates and the
+// Orchestrator forwards to Workers (§4.2.2).
+type MeasurementDef struct {
+	ID       uint16  `json:"id"`
+	Protocol string  `json:"protocol"` // ICMP, TCP or DNS
+	V6       bool    `json:"v6"`
+	OffsetMS int64   `json:"offset_ms"` // inter-worker probe spacing
+	Rate     float64 `json:"rate"`      // hitlist targets per second
+	Zone     string  `json:"zone,omitempty"`
+}
+
+// Run asks the Orchestrator to execute a measurement over the given
+// targets.
+type Run struct {
+	Def     MeasurementDef `json:"def"`
+	Targets []string       `json:"targets"`
+}
+
+// Targets streams a hitlist batch to a Worker.
+type Targets struct {
+	Base  int      `json:"base"` // index of the first address in the batch
+	Addrs []string `json:"addrs"`
+}
+
+// Result is one captured reply, matched to the measurement via the echoed
+// probe identity (§4.2.2).
+type Result struct {
+	Measurement uint16 `json:"m"`
+	Target      string `json:"t"`
+	TxWorker    int    `json:"tx"`
+	RxWorker    int    `json:"rx"`
+	RTTMicros   int64  `json:"rtt_us"`
+}
+
+// WorkerDone reports a Worker finished its probe stream.
+type WorkerDone struct {
+	Worker int   `json:"worker"`
+	Sent   int64 `json:"sent"`
+}
+
+// Complete ends a measurement towards the CLI.
+type Complete struct {
+	Results int64 `json:"results"`
+	Workers int   `json:"workers"`
+}
+
+// ErrorMsg carries a fatal error.
+type ErrorMsg struct {
+	Text string `json:"text"`
+}
+
+// Conn wraps a net.Conn with framed, concurrency-safe writes and buffered
+// reads.
+type Conn struct {
+	c  net.Conn
+	br *bufio.Reader
+	mu sync.Mutex // serialises writers
+}
+
+// NewConn wraps a transport connection.
+func NewConn(c net.Conn) *Conn {
+	return &Conn{c: c, br: bufio.NewReaderSize(c, 64<<10)}
+}
+
+// Close closes the underlying transport.
+func (c *Conn) Close() error { return c.c.Close() }
+
+// RemoteAddr exposes the peer address for logging.
+func (c *Conn) RemoteAddr() net.Addr { return c.c.RemoteAddr() }
+
+// Write sends one frame.
+func (c *Conn) Write(t MsgType, v any) error {
+	payload, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("wire: encoding %v: %w", t, err)
+	}
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: %v frame of %d bytes exceeds limit", t, len(payload))
+	}
+	var hdr [5]byte
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)))
+	hdr[4] = byte(t)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.c.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: writing %v header: %w", t, err)
+	}
+	if _, err := c.c.Write(payload); err != nil {
+		return fmt.Errorf("wire: writing %v payload: %w", t, err)
+	}
+	return nil
+}
+
+// Read receives one frame. The returned payload is only valid until the
+// next Read.
+func (c *Conn) Read() (MsgType, json.RawMessage, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:4])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(c.br, payload); err != nil {
+		return 0, nil, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	return MsgType(hdr[4]), payload, nil
+}
+
+// Decode unmarshals a frame payload into T.
+func Decode[T any](raw json.RawMessage) (T, error) {
+	var v T
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return v, fmt.Errorf("wire: decoding %T: %w", v, err)
+	}
+	return v, nil
+}

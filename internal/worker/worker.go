@@ -1,0 +1,206 @@
+// Package worker implements the LACeS Worker (§4.2.1): the component
+// deployed at each anycast site. Workers receive measurement definitions
+// and hitlist targets from the Orchestrator, transmit probes, capture
+// replies (which may answer probes transmitted by *other* workers — the
+// heart of anycast-based measurement), match them to the ongoing
+// measurement via the echoed probe identity, and stream results straight
+// back: workers store neither the hitlist nor results (§4.2.3), and they
+// reconnect automatically after connection loss (the fix of §7).
+package worker
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+
+	"github.com/laces-project/laces/internal/wire"
+)
+
+// Reply is one captured reply attributable to the ongoing measurement.
+type Reply struct {
+	// TxWorker is the worker whose probe elicited the reply, recovered
+	// from the echoed identity.
+	TxWorker int
+	RTT      time.Duration
+}
+
+// Prober abstracts the probing backend. The production backend crafts raw
+// packets; tests and the simulation substrate use SimProber, which pushes
+// real packet bytes through the codecs against the simulated Internet.
+type Prober interface {
+	// ProbeTarget transmits this worker's probe towards addr and returns
+	// the replies this worker captures for that target, across all
+	// transmitting workers.
+	ProbeTarget(def wire.MeasurementDef, addr netip.Addr, txTime time.Time) ([]Reply, error)
+}
+
+// ProberFactory builds the prober once the Orchestrator assigns this
+// worker its site index.
+type ProberFactory func(self int) (Prober, error)
+
+// Config parameterises a Worker.
+type Config struct {
+	Name         string
+	Orchestrator string // TCP address of the Orchestrator
+	NewProber    ProberFactory
+	// ReconnectMin/Max bound the exponential reconnect backoff.
+	ReconnectMin time.Duration
+	ReconnectMax time.Duration
+	// Logf receives progress lines; nil discards them.
+	Logf func(format string, args ...any)
+	// Dialer allows tests to intercept connections; nil uses net.Dialer.
+	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+}
+
+// Worker runs the worker loop.
+type Worker struct {
+	cfg Config
+}
+
+// New validates the configuration and returns a Worker.
+func New(cfg Config) (*Worker, error) {
+	if cfg.Orchestrator == "" {
+		return nil, fmt.Errorf("worker: missing orchestrator address")
+	}
+	if cfg.NewProber == nil {
+		return nil, fmt.Errorf("worker: missing prober factory")
+	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 100 * time.Millisecond
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Dialer == nil {
+		d := &net.Dialer{}
+		cfg.Dialer = func(ctx context.Context, addr string) (net.Conn, error) {
+			return d.DialContext(ctx, "tcp", addr)
+		}
+	}
+	return &Worker{cfg: cfg}, nil
+}
+
+// Run connects to the Orchestrator and serves measurements until ctx is
+// cancelled, reconnecting with exponential backoff on connection loss.
+func (w *Worker) Run(ctx context.Context) error {
+	backoff := w.cfg.ReconnectMin
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		err := w.session(ctx)
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		w.cfg.Logf("worker %s: session ended: %v; reconnecting in %v", w.cfg.Name, err, backoff)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		backoff *= 2
+		if backoff > w.cfg.ReconnectMax {
+			backoff = w.cfg.ReconnectMax
+		}
+	}
+}
+
+// session runs one connection lifecycle: hello, then serve frames.
+func (w *Worker) session(ctx context.Context) error {
+	nc, err := w.cfg.Dialer(ctx, w.cfg.Orchestrator)
+	if err != nil {
+		return fmt.Errorf("worker: dialing: %w", err)
+	}
+	conn := wire.NewConn(nc)
+	defer conn.Close()
+
+	// Tear the connection down when ctx ends so blocking reads unblock.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := conn.Write(wire.MsgHello, wire.Hello{Role: "worker", Name: w.cfg.Name}); err != nil {
+		return err
+	}
+	typ, raw, err := conn.Read()
+	if err != nil {
+		return fmt.Errorf("worker: awaiting hello-ack: %w", err)
+	}
+	if typ != wire.MsgHelloAck {
+		return fmt.Errorf("worker: expected hello-ack, got %v", typ)
+	}
+	ack, err := wire.Decode[wire.HelloAck](raw)
+	if err != nil {
+		return err
+	}
+	prober, err := w.cfg.NewProber(ack.Worker)
+	if err != nil {
+		return fmt.Errorf("worker: building prober: %w", err)
+	}
+	w.cfg.Logf("worker %s: connected as site %d of %d", w.cfg.Name, ack.Worker, ack.Workers)
+
+	var def wire.MeasurementDef
+	var sent int64
+	for {
+		typ, raw, err := conn.Read()
+		if err != nil {
+			return fmt.Errorf("worker: reading: %w", err)
+		}
+		switch typ {
+		case wire.MsgStart:
+			def, err = wire.Decode[wire.MeasurementDef](raw)
+			if err != nil {
+				return err
+			}
+			sent = 0
+		case wire.MsgTargets:
+			batch, err := wire.Decode[wire.Targets](raw)
+			if err != nil {
+				return err
+			}
+			for _, s := range batch.Addrs {
+				addr, err := netip.ParseAddr(s)
+				if err != nil {
+					continue // skip malformed targets, keep probing
+				}
+				replies, err := prober.ProbeTarget(def, addr, time.Now())
+				if err != nil {
+					return fmt.Errorf("worker: probing %s: %w", addr, err)
+				}
+				sent++
+				for _, r := range replies {
+					res := wire.Result{
+						Measurement: def.ID,
+						Target:      s,
+						TxWorker:    r.TxWorker,
+						RxWorker:    ack.Worker,
+						RTTMicros:   r.RTT.Microseconds(),
+					}
+					if err := conn.Write(wire.MsgResult, res); err != nil {
+						return err
+					}
+				}
+			}
+		case wire.MsgEndTargets:
+			if err := conn.Write(wire.MsgWorkerDone, wire.WorkerDone{Worker: ack.Worker, Sent: sent}); err != nil {
+				return err
+			}
+		case wire.MsgError:
+			em, _ := wire.Decode[wire.ErrorMsg](raw)
+			return fmt.Errorf("worker: orchestrator error: %s", em.Text)
+		default:
+			return fmt.Errorf("worker: unexpected frame %v", typ)
+		}
+	}
+}

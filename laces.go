@@ -1,0 +1,227 @@
+// Package laces is a from-scratch Go implementation of LACeS — the
+// Longitudinal Anycast Census System of Hendriks et al. (ACM IMC 2025) —
+// together with every substrate the paper's evaluation depends on.
+//
+// LACeS combines two complementary anycast measurement methodologies:
+//
+//   - the anycast-based detection of MAnycast2: probe every hitlist target
+//     once from each site of an anycast deployment; targets whose replies
+//     arrive at two or more sites become anycast candidates;
+//   - the latency-based Great-Circle-Distance confirmation of iGreedy:
+//     RTTs from dispersed vantage points draw discs the responder must lie
+//     in; disjoint discs prove anycast, a greedy independent set of discs
+//     enumerates sites, and the highest-population city in each disc
+//     geolocates them.
+//
+// The pipeline feeds candidates (plus a feedback loop of previously
+// confirmed prefixes) into the latency stage and publishes 𝒢 (confirmed)
+// and ℳ (anycast-based only) daily.
+//
+// Because a measurement study cannot ship the Internet, this module ships
+// a deterministic simulated Internet (see internal/netsim) that reproduces
+// every phenomenon the paper analyses — ECMP tie-splitting, route churn,
+// Microsoft-style globally announced unicast, temporary and partial
+// anycast, regional deployments, backing-anycast traffic engineering —
+// while the Orchestrator/Worker/CLI measurement plane runs over real TCP
+// sockets and real packet codecs.
+//
+// # Quick start
+//
+//	world, _ := laces.NewWorld(laces.TestConfig())
+//	dep, _ := laces.Tangled(world)
+//	pipe, _ := laces.NewPipeline(world, laces.PipelineConfig{
+//	        Deployment: dep,
+//	        GCDVPs:     laces.ArkVPs(world),
+//	})
+//	census, _ := pipe.RunDaily(0, false, laces.DayOptions{})
+//	fmt.Println(len(census.G()), "GCD-confirmed anycast /24s")
+//
+// The examples/ directory contains runnable programs; cmd/laces is the
+// distributed measurement CLI and cmd/laces-experiments regenerates every
+// table and figure of the paper.
+package laces
+
+import (
+	"io"
+	"time"
+
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/geo"
+	"github.com/laces-project/laces/internal/hitlist"
+	"github.com/laces-project/laces/internal/igreedy"
+	"github.com/laces-project/laces/internal/longitudinal"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/report"
+	"github.com/laces-project/laces/internal/traceroute"
+)
+
+// Core world types.
+type (
+	// World is the simulated Internet: targets, ASes, operators and the
+	// routing/latency model.
+	World = netsim.World
+	// WorldConfig parameterises world generation.
+	WorldConfig = netsim.Config
+	// Deployment is an anycast measurement deployment (the Worker
+	// platform).
+	Deployment = netsim.Deployment
+	// VP is a unicast vantage point for latency measurements.
+	VP = netsim.VP
+	// Target is one probed prefix with its ground truth.
+	Target = netsim.Target
+	// Coordinate is a geographic point (decimal degrees).
+	Coordinate = geo.Coordinate
+)
+
+// Pipeline types.
+type (
+	// Pipeline is the daily census pipeline — the paper's contribution.
+	Pipeline = core.Pipeline
+	// PipelineConfig parameterises the pipeline.
+	PipelineConfig = core.Config
+	// DayOptions injects per-day operational events.
+	DayOptions = core.DayOptions
+	// DailyCensus is one day's published census.
+	DailyCensus = core.DailyCensus
+	// CensusEntry is one published census row.
+	CensusEntry = core.Entry
+	// GCDLSResult is a periodic full-hitlist GCD sweep.
+	GCDLSResult = core.GCDLSResult
+)
+
+// Measurement types.
+type (
+	// Hitlist is the census input (§4.1).
+	Hitlist = hitlist.Hitlist
+	// Protocol selects ICMP, TCP or DNS probing.
+	Protocol = packet.Protocol
+	// GCDSample is one latency observation for iGreedy analysis.
+	GCDSample = igreedy.Sample
+	// GCDResult is an iGreedy detection/enumeration/geolocation outcome.
+	GCDResult = igreedy.Result
+	// History is a longitudinal census run.
+	History = longitudinal.History
+)
+
+// Traceroute and census-consumer types (the paper's §5.1.3/§5.2 future
+// work and published-dataset tooling).
+type (
+	// TracePath is one TTL-based forward-path measurement.
+	TracePath = traceroute.Path
+	// TraceOptions configures a trace.
+	TraceOptions = traceroute.Options
+	// Fanout aggregates traces to one target from many vantage points;
+	// Fanout.GlobalBGP reports the multi-PoP-ingress single-server
+	// signature.
+	Fanout = traceroute.Fanout
+	// CensusDocument is the published JSON form of one census day.
+	CensusDocument = core.Document
+	// CensusDiff summarises day-over-day census changes.
+	CensusDiff = report.DiffResult
+)
+
+// Probing protocols.
+const (
+	ICMP = packet.ICMP
+	TCP  = packet.TCP
+	DNS  = packet.DNS
+)
+
+// CensusEpoch is day 0 of the census timeline (March 21, 2024).
+var CensusEpoch = netsim.CensusEpoch
+
+// NewWorld generates a simulated Internet from the configuration.
+func NewWorld(cfg WorldConfig) (*World, error) { return netsim.New(cfg) }
+
+// DefaultConfig returns the experiment-scale world configuration.
+func DefaultConfig() WorldConfig { return netsim.DefaultConfig() }
+
+// TestConfig returns a small world configuration for fast runs.
+func TestConfig() WorldConfig { return netsim.TestConfig() }
+
+// Tangled returns the 32-site TANGLED measurement deployment.
+func Tangled(w *World) (*Deployment, error) {
+	return platform.Tangled(w, netsim.PolicyUnmodified)
+}
+
+// NewPipeline builds the census pipeline.
+func NewPipeline(w *World, cfg PipelineConfig) (*Pipeline, error) {
+	return core.NewPipeline(w, cfg)
+}
+
+// ArkVPs returns a GCD VP source backed by the (growing) Ark platform
+// model, suitable for PipelineConfig.GCDVPs.
+func ArkVPs(w *World) func(day int, v6 bool) ([]VP, error) {
+	return func(day int, v6 bool) ([]VP, error) {
+		return platform.Ark(w, day, v6)
+	}
+}
+
+// HitlistForDay builds the merged hitlist for a census day (§4.1).
+func HitlistForDay(w *World, v6 bool, day int) *Hitlist {
+	return hitlist.ForDay(w, v6, day)
+}
+
+// CityLocation looks up a city's coordinates in the world's geolocation
+// database.
+func CityLocation(w *World, name string) (Coordinate, bool) {
+	c, ok := w.DB.ByName(name)
+	if !ok {
+		return Coordinate{}, false
+	}
+	return c.Location, true
+}
+
+// AnalyzeGCD runs the iGreedy analysis over latency samples: detection,
+// site enumeration and geolocation.
+func AnalyzeGCD(samples []GCDSample) GCDResult {
+	return igreedy.Analyze(samples, igreedy.Options{})
+}
+
+// RunGCDLS performs a full-hitlist GCD sweep (§5.1.1) for seeding the
+// pipeline's feedback loop.
+func RunGCDLS(w *World, vps []VP, v6 bool, day int) *GCDLSResult {
+	return core.RunGCDLS(w, vps, v6, day)
+}
+
+// RunLongitudinal executes a multi-day census (§7). Stride 1 is a full
+// daily census; larger strides sample the timeline.
+func RunLongitudinal(w *World, days, stride int) (*History, error) {
+	return longitudinal.Run(w, longitudinal.Config{
+		Days:   days,
+		Stride: stride,
+		Events: longitudinal.DefaultEvents(),
+	})
+}
+
+// Traceroute measures the TTL-based forward path from a vantage point to
+// a hitlist target at a point on the census timeline.
+func Traceroute(w *World, vp VP, tg *Target, at time.Time) (*TracePath, error) {
+	return traceroute.Run(w, vp, tg, TraceOptions{At: at})
+}
+
+// MeasureFanout traces a target from every vantage point and aggregates
+// the ingress-PoP/server evidence (§5.1.3: Fanout.GlobalBGP is the
+// globally-announced-unicast confirmation).
+func MeasureFanout(w *World, vps []VP, tg *Target, at time.Time) (*Fanout, error) {
+	return traceroute.Measure(w, vps, tg, TraceOptions{At: at})
+}
+
+// DiffCensus compares two published census documents day-over-day.
+func DiffCensus(old, cur *CensusDocument) *CensusDiff {
+	return report.Diff(old, cur)
+}
+
+// RenderDashboard writes the text dashboard over a series of published
+// census documents.
+func RenderDashboard(w io.Writer, docs []*CensusDocument) error {
+	return report.Dashboard(w, docs)
+}
+
+// ParseCensusDocument reads a census JSON document written by
+// DailyCensus.WriteJSON.
+func ParseCensusDocument(r io.Reader) (*CensusDocument, error) {
+	return core.ParseDocument(r)
+}

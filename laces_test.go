@@ -1,0 +1,150 @@
+package laces_test
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	laces "github.com/laces-project/laces"
+)
+
+var (
+	facadeOnce sync.Once
+	facadeW    *laces.World
+	facadeWErr error
+)
+
+// facadeWorld builds the shared test world once per process.
+func facadeWorld(t *testing.T) *laces.World {
+	t.Helper()
+	facadeOnce.Do(func() {
+		facadeW, facadeWErr = laces.NewWorld(laces.TestConfig())
+	})
+	if facadeWErr != nil {
+		t.Fatal(facadeWErr)
+	}
+	return facadeW
+}
+
+// TestFacadeQuickstart exercises the documented public API end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	world, err := laces.NewWorld(laces.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := laces.Tangled(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := laces.NewPipeline(world, laces.PipelineConfig{
+		Deployment: dep,
+		GCDVPs:     laces.ArkVPs(world),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	census, err := pipe.RunDaily(0, false, laces.DayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(census.G()) == 0 || len(census.M()) == 0 {
+		t.Fatalf("quickstart census degenerate: |G|=%d |M|=%d", len(census.G()), len(census.M()))
+	}
+}
+
+func TestFacadeHitlistAndGCD(t *testing.T) {
+	world, err := laces.NewWorld(laces.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	hl := laces.HitlistForDay(world, false, 0)
+	if hl.Len() == 0 {
+		t.Fatal("empty hitlist")
+	}
+	// A hand-built GCD analysis through the facade.
+	res := laces.AnalyzeGCD([]laces.GCDSample{
+		{VP: "ams", Loc: mustCity(t, world, "Amsterdam"), RTT: 2 * time.Millisecond},
+		{VP: "syd", Loc: mustCity(t, world, "Sydney"), RTT: 2 * time.Millisecond},
+	})
+	if !res.Anycast || res.NumSites() != 2 {
+		t.Fatalf("facade GCD analysis: %+v", res)
+	}
+}
+
+func TestFacadeEpoch(t *testing.T) {
+	want := time.Date(2024, 3, 21, 0, 0, 0, 0, time.UTC)
+	if !laces.CensusEpoch.Equal(want) {
+		t.Fatalf("census epoch = %v", laces.CensusEpoch)
+	}
+}
+
+func mustCity(t *testing.T, w *laces.World, name string) laces.Coordinate {
+	t.Helper()
+	loc, ok := laces.CityLocation(w, name)
+	if !ok {
+		t.Fatalf("city %s missing", name)
+	}
+	return loc
+}
+
+func TestFacadeTracerouteAndDiff(t *testing.T) {
+	world := facadeWorld(t)
+	dep, err := laces.Tangled(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := laces.NewPipeline(world, laces.PipelineConfig{
+		Deployment: dep,
+		GCDVPs:     laces.ArkVPs(world),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := pipe.RunDaily(10, false, laces.DayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pipe.RunDaily(17, false, laces.DayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := laces.DiffCensus(a.Document(), b.Document())
+	if d.From == d.To {
+		t.Fatal("diff did not carry dates")
+	}
+	var buf bytes.Buffer
+	if err := laces.RenderDashboard(&buf, []*laces.CensusDocument{a.Document(), b.Document()}); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty dashboard")
+	}
+
+	// Round-trip a document through the facade parser.
+	buf.Reset()
+	if err := a.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := laces.ParseCensusDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GCount != len(a.G()) {
+		t.Fatalf("parsed GCount %d, census has %d", doc.GCount, len(a.G()))
+	}
+
+	// Traceroute through the facade.
+	vp, err := world.NewVP("facade-vp", "Amsterdam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := world.Targets(false)
+	p, err := laces.Traceroute(world, vp, &targets[0], laces.CensusEpoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Hops) == 0 {
+		t.Fatal("empty trace")
+	}
+}
