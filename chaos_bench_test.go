@@ -1,0 +1,104 @@
+package laces_test
+
+import (
+	"sync"
+	"testing"
+
+	laces "github.com/laces-project/laces"
+	"github.com/laces-project/laces/internal/chaos"
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/platform"
+)
+
+// The chaos benchmarks run on a test-scale world so a single iteration is
+// seconds, not minutes: the point is the *ratio* between the clean census
+// and the impaired one, and the zero-cost claim of the nil-impairer fast
+// path, not paper-scale numbers.
+var (
+	chaosBenchOnce sync.Once
+	chaosBenchW    *netsim.World
+	chaosBenchErr  error
+)
+
+func chaosBenchWorld(b *testing.B) *netsim.World {
+	b.Helper()
+	chaosBenchOnce.Do(func() {
+		chaosBenchW, chaosBenchErr = netsim.New(netsim.TestConfig())
+	})
+	if chaosBenchErr != nil {
+		b.Fatal(chaosBenchErr)
+	}
+	return chaosBenchW
+}
+
+// runDailyOnce executes one day-0 census on a fresh pipeline.
+func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario) {
+	b.Helper()
+	dep, err := platform.Tangled(w, netsim.PolicyUnmodified)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(w, core.Config{
+		Deployment: dep,
+		GCDVPs: func(day int, v6 bool) ([]netsim.VP, error) {
+			return platform.Ark(w, day, v6)
+		},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := pipe.RunDaily(0, false, core.DayOptions{Chaos: sc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(c.Candidates()) == 0 {
+		b.Fatal("degenerate census")
+	}
+}
+
+// BenchmarkDailyCensus is the clean-pipeline guard: the chaos layer's
+// nil-impairment fast path must keep this within noise of the pre-chaos
+// seed (the hot path pays one nil check and zero allocations — see
+// netsim's TestProbeHotPathNoAllocs).
+func BenchmarkDailyCensus(b *testing.B) {
+	w := chaosBenchWorld(b)
+	runDailyOnce(b, w, nil) // warm routing caches outside the timer
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runDailyOnce(b, w, nil)
+	}
+}
+
+// BenchmarkDailyCensusChaos measures the same census under a
+// representative chaos scenario (lossy-transit: an always-on impairment
+// that hashes every probe — the engine's worst-case per-probe overhead
+// among the built-ins).
+func BenchmarkDailyCensusChaos(b *testing.B) {
+	w := chaosBenchWorld(b)
+	sc, ok := chaos.Lookup(chaos.ScenarioLossyTransit)
+	if !ok {
+		b.Fatal("lossy-transit scenario missing")
+	}
+	runDailyOnce(b, w, &sc)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runDailyOnce(b, w, &sc)
+	}
+}
+
+// BenchmarkLongitudinalWithIncidents times a compressed longitudinal run
+// with the paper's incident calendar re-expressed as a chaos scenario
+// bundle (the Fig 9 path).
+func BenchmarkLongitudinalWithIncidents(b *testing.B) {
+	w := chaosBenchWorld(b)
+	for i := 0; i < b.N; i++ {
+		h, err := laces.RunLongitudinal(w, 534, 60)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(h.Summaries(false)) == 0 {
+			b.Fatal("empty history")
+		}
+	}
+}

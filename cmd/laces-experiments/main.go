@@ -180,6 +180,12 @@ func runOne(env *experiments.Env, name string) error {
 			return err
 		}
 		return experiments.RenderMDecomposition(w, r)
+	case "chaos", "resilience":
+		r, err := env.ChaosResilience(false)
+		if err != nil {
+			return err
+		}
+		return experiments.RenderChaosResilience(w, r)
 	default:
 		return fmt.Errorf("unknown experiment %q", name)
 	}

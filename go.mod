@@ -1,0 +1,3 @@
+module github.com/laces-project/laces
+
+go 1.24

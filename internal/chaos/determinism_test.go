@@ -1,0 +1,95 @@
+package chaos_test
+
+// Census-level determinism: the acceptance bar for the chaos layer is that
+// the same world seed and scenario always produce a byte-identical
+// DailyCensus — chaos runs are reproducible experiments, not flaky tests.
+// This lives in an external test package so it can drive the full core
+// pipeline (core imports chaos).
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/laces-project/laces/internal/chaos"
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/platform"
+)
+
+// censusJSON runs one daily census under a scenario on a fresh world and
+// pipeline, and returns its published JSON bytes.
+func censusJSON(t *testing.T, day int, sc *chaos.Scenario) []byte {
+	t.Helper()
+	w, err := netsim.New(netsim.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := platform.Tangled(w, netsim.PolicyUnmodified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(w, core.Config{
+		Deployment: dep,
+		GCDVPs: func(day int, v6 bool) ([]netsim.VP, error) {
+			return platform.Ark(w, day, v6)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := pipe.RunDaily(day, false, core.DayOptions{Chaos: sc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestChaosCensusByteIdentical(t *testing.T) {
+	for _, name := range []string{chaos.ScenarioFlappingUpstream, chaos.ScenarioLossyTransit} {
+		sc, ok := chaos.Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %q missing", name)
+		}
+		day := 180
+		a := censusJSON(t, day, &sc)
+		b := censusJSON(t, day, &sc)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("scenario %q: same seed + scenario produced different censuses", name)
+		}
+		clean := censusJSON(t, day, nil)
+		if bytes.Equal(a, clean) {
+			t.Fatalf("scenario %q had no effect on the census", name)
+		}
+	}
+}
+
+func TestChaosEngineLeftUninstalled(t *testing.T) {
+	w, err := netsim.New(netsim.TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := platform.Tangled(w, netsim.PolicyUnmodified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(w, core.Config{
+		Deployment: dep,
+		GCDVPs: func(day int, v6 bool) ([]netsim.VP, error) {
+			return platform.Ark(w, day, v6)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := chaos.Lookup(chaos.ScenarioLossyTransit)
+	if _, err := pipe.RunDaily(180, false, core.DayOptions{Chaos: &sc}); err != nil {
+		t.Fatal(err)
+	}
+	if w.Impairer() != nil {
+		t.Fatal("RunDaily leaked the chaos engine on the world")
+	}
+}

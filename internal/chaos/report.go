@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/laces-project/laces/internal/stats"
+)
+
+// MethodStats scores one census method's output against ground truth.
+type MethodStats struct {
+	TP, FP, FN int
+}
+
+// Precision is TP/(TP+FP); a method that claims nothing is vacuously
+// precise.
+func (m MethodStats) Precision() float64 {
+	if m.TP+m.FP == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FP)
+}
+
+// Recall is TP/(TP+FN).
+func (m MethodStats) Recall() float64 {
+	if m.TP+m.FN == 0 {
+		return 1
+	}
+	return float64(m.TP) / float64(m.TP+m.FN)
+}
+
+// Score compares a claimed ID set against the ground-truth ID set.
+func Score(claimed, truth map[int]bool) MethodStats {
+	var s MethodStats
+	for id := range claimed {
+		if truth[id] {
+			s.TP++
+		} else {
+			s.FP++
+		}
+	}
+	for id := range truth {
+		if !claimed[id] {
+			s.FN++
+		}
+	}
+	return s
+}
+
+// Outcome is one census run scored against ground truth — the clean
+// baseline or one scenario.
+type Outcome struct {
+	Scenario    string
+	Description string
+	// Day is the census day the run executed on (windowed scenarios run
+	// on a day inside their window).
+	Day int
+	// Workers is the number of participating deployment sites.
+	Workers int
+	// GCount and MCount are the published set sizes.
+	GCount, MCount int
+	// G scores 𝒢 (GCD-confirmed) and M scores ℳ (anycast-based only)
+	// against the simulator's anycast oracle.
+	G, M MethodStats
+}
+
+// Report is the resilience table: census accuracy under each chaos
+// scenario against the clean baseline.
+type Report struct {
+	V6        bool
+	Baseline  Outcome
+	Scenarios []Outcome
+}
+
+// Render prints the resilience table.
+func (r *Report) Render(w io.Writer) error {
+	fam := "IPv4"
+	if r.V6 {
+		fam = "IPv6"
+	}
+	t := stats.Table{
+		Title: "chaos resilience (" + fam + "): census accuracy vs ground truth",
+		Header: []string{"scenario", "day", "workers", "|G|", "G prec", "G rec",
+			"|M|", "M prec", "dG rec"},
+	}
+	row := func(o Outcome, base *Outcome) {
+		delta := "-"
+		if base != nil {
+			delta = fmt.Sprintf("%+.3f", o.G.Recall()-base.G.Recall())
+		}
+		t.Add(o.Scenario, fmt.Sprint(o.Day), fmt.Sprint(o.Workers),
+			fmt.Sprint(o.GCount), fmt.Sprintf("%.3f", o.G.Precision()),
+			fmt.Sprintf("%.3f", o.G.Recall()), fmt.Sprint(o.MCount),
+			fmt.Sprintf("%.3f", o.M.Precision()), delta)
+	}
+	row(r.Baseline, nil)
+	for _, o := range r.Scenarios {
+		row(o, &r.Baseline)
+	}
+	if err := t.Render(w); err != nil {
+		return err
+	}
+	for _, o := range r.Scenarios {
+		if _, err := fmt.Fprintf(w, "  %-18s %s\n", o.Scenario, o.Description); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/chaosdns"
 	"github.com/laces-project/laces/internal/gcdmeas"
 	"github.com/laces-project/laces/internal/hitlist"
@@ -179,14 +180,63 @@ type Config struct {
 	GlobalBGPVPs int
 }
 
-// DayOptions injects per-day conditions (failure modelling, §7).
+// DayOptions injects per-day conditions (failure modelling, §7). The
+// general mechanism is Chaos — a fault-injection plan evaluated for the
+// run's day; MissingWorkers and DNSBroken predate it and are kept as shims
+// that compile to the equivalent impairments (SiteOutage and a DNS
+// blackhole respectively), so legacy callers produce byte-identical
+// censuses to the chaos plans they denote.
 type DayOptions struct {
 	// MissingWorkers marks deployment sites disconnected today (the
-	// pre-July-2025 worker-loss events visible in Fig 9).
+	// pre-July-2025 worker-loss events visible in Fig 9). Shim: equivalent
+	// to a chaos.SiteOutage impairment over these sites.
 	MissingWorkers map[int]bool
 	// DNSBroken models the Sep–Dec 2024 tooling bug that flagged all DNS
-	// replies invalid: DNS results are discarded.
+	// replies invalid: no DNS results survive. Shim: equivalent to a
+	// chaos.Blackhole impairment scoped to DNS.
 	DNSBroken bool
+	// Chaos is the fault-injection plan: every impairment whose scope
+	// covers today's census day is applied to the run (probe loss, delay,
+	// partitions, site outages, clock skew, route-flap amplification, …).
+	Chaos *chaos.Scenario
+}
+
+// scenario merges the explicit chaos plan with the legacy shims into the
+// effective scenario for a run, or nil when the day is fault-free.
+func (o DayOptions) scenario() *chaos.Scenario {
+	n := len(o.MissingWorkers)
+	if o.Chaos == nil && !o.DNSBroken && n == 0 {
+		return nil
+	}
+	sc := chaos.Scenario{Name: "day-options"}
+	if o.Chaos != nil {
+		if !o.DNSBroken && n == 0 {
+			return o.Chaos
+		}
+		sc.Name = o.Chaos.Name
+		sc.Impairments = append(sc.Impairments, o.Chaos.Impairments...)
+	}
+	if o.DNSBroken {
+		sc.Impairments = append(sc.Impairments, chaos.Impairment{
+			Kind:  chaos.Blackhole,
+			Scope: chaos.Scope{Protocols: []packet.Protocol{packet.DNS}},
+		})
+	}
+	if n > 0 {
+		workers := make([]int, 0, n)
+		for wk := range o.MissingWorkers {
+			workers = append(workers, wk)
+		}
+		sort.Ints(workers)
+		sc.Impairments = append(sc.Impairments, chaos.Impairment{
+			Kind:  chaos.SiteOutage,
+			Scope: chaos.Scope{Workers: workers},
+		})
+	}
+	if len(sc.Impairments) == 0 {
+		return nil
+	}
+	return &sc
 }
 
 // Pipeline runs daily censuses and maintains the feedback loop.
@@ -237,17 +287,31 @@ func (p *Pipeline) SeedFeedback(v6 bool, ids []int) {
 func (p *Pipeline) FeedbackSize(v6 bool) int { return len(p.feedback[famIdx(v6)]) }
 
 // RunDaily executes the full pipeline for one census day and family.
+// When the day's options carry a chaos plan (explicitly or via the legacy
+// shims), the compiled engine is installed on the world for the duration
+// of the run; the world must not serve concurrent measurements meanwhile.
 func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus, error) {
 	w := p.World
 	hl := hitlist.ForDay(w, v6, day)
 	start := netsim.DayTime(day)
+
+	// Resolve the day's fault plan: site outages become missing workers
+	// (dead sites neither transmit nor capture), everything else impairs
+	// individual probes through the world hook.
+	missing := dayOpts.MissingWorkers
+	if sc := dayOpts.scenario(); sc != nil {
+		eng := chaos.NewEngine(w, *sc)
+		missing = mergeMissing(missing, eng.MissingWorkers(p.Cfg.Deployment, day))
+		w.SetImpairer(eng)
+		defer w.SetImpairer(nil)
+	}
 
 	census := &DailyCensus{
 		Day:          start,
 		DayIndex:     day,
 		V6:           v6,
 		HitlistSize:  hl.Len(),
-		Workers:      p.Cfg.Deployment.NumSites() - len(dayOpts.MissingWorkers),
+		Workers:      p.Cfg.Deployment.NumSites() - len(missing),
 		Entries:      make(map[int]*Entry),
 		ReceiverHist: make(map[packet.Protocol]map[int]int),
 	}
@@ -258,7 +322,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		Offset:         p.Cfg.Offset,
 		Rate:           p.Cfg.Rate,
 		MeasurementID:  uint16(day),
-		MissingWorkers: dayOpts.MissingWorkers,
+		MissingWorkers: missing,
 	}
 	results, err := manycast.MultiProtocol(w, p.Cfg.Deployment, hl, base, p.Cfg.Protocols)
 	if err != nil {
@@ -267,11 +331,6 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 	targets := w.Targets(v6)
 	for proto, res := range results {
 		census.ProbesAnycastStage += res.ProbesSent
-		if proto == packet.DNS && dayOpts.DNSBroken {
-			// The tooling bug: replies collected but all flagged invalid.
-			census.ReceiverHist[proto] = map[int]int{}
-			continue
-		}
 		census.ReceiverHist[proto] = res.ReceiverHistogram()
 		for _, obs := range res.Observations {
 			if !obs.IsCandidate() {
@@ -400,6 +459,24 @@ func (p *Pipeline) screenGlobalBGP(census *DailyCensus, pool []netsim.VP, at tim
 		census.Entries[id].GlobalBGP = true
 	}
 	return nil
+}
+
+// mergeMissing unions two missing-worker sets without mutating either.
+func mergeMissing(a, b map[int]bool) map[int]bool {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	out := make(map[int]bool, len(a)+len(b))
+	for wk := range a {
+		out[wk] = true
+	}
+	for wk := range b {
+		out[wk] = true
+	}
+	return out
 }
 
 // spreadVPs picks up to n VPs evenly spaced through the pool (the pool is

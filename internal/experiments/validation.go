@@ -227,6 +227,13 @@ func (e *Env) RunAll(w io.Writer, skipLongitudinal bool) error {
 			}
 			return RenderEnumComparison(w, rows)
 		}},
+		{"chaos resilience", func() error {
+			r, err := e.ChaosResilience(false)
+			if err != nil {
+				return err
+			}
+			return RenderChaosResilience(w, r)
+		}},
 	}
 	if !skipLongitudinal {
 		steps = append(steps,

@@ -8,7 +8,9 @@ package longitudinal
 
 import (
 	"fmt"
+	"sort"
 
+	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
@@ -17,10 +19,18 @@ import (
 )
 
 // Events configures the operational incidents of the census period.
+//
+// For backwards compatibility, Run substitutes DefaultEvents() when it
+// receives an all-zero Events value; callers that want a genuinely
+// incident-free census say so explicitly with NoEvents() (the None field),
+// instead of the former workaround of passing -1 sentinels.
 type Events struct {
+	// None explicitly requests an incident-free census: Run applies no
+	// default calendar and every other field is ignored.
+	None bool
 	// DNSOutage is the window during which the tooling incorrectly
 	// flagged all DNS replies invalid (§7: Sep 19 – Dec 24, 2024 ≈ census
-	// days 182–278).
+	// days 182–278). The zero range means no outage.
 	DNSOutage netsim.DayRange
 	// WorkerLossFixDay is the day automatic reconnects shipped (§7,
 	// July 2025); before it, workers intermittently drop out.
@@ -41,6 +51,54 @@ func DefaultEvents() Events {
 		WorkerLossPeriod: 23,
 		GCDLSDays:        []int{0, 270, 510},
 	}
+}
+
+// NoEvents returns an explicitly empty event calendar: Run executes a
+// clean census instead of substituting DefaultEvents().
+func NoEvents() Events { return Events{None: true} }
+
+// isZero reports whether the calendar is the ambiguous all-zero value.
+func (ev Events) isZero() bool {
+	return !ev.None && ev.WorkerLossPeriod == 0 && ev.WorkerLossFixDay == 0 &&
+		len(ev.GCDLSDays) == 0 && ev.DNSOutage == (netsim.DayRange{})
+}
+
+// Scenario re-expresses the calendar's operational incidents as a chaos
+// scenario bundle over the census timeline: the DNS tooling bug becomes a
+// DNS-scoped blackhole and each pre-fix worker-loss day a one-day site
+// outage — the same faults the per-day booleans used to inject, now
+// composable with any other impairment. `sites` is the deployment size the
+// loss events are drawn over.
+func (ev Events) Scenario(sites int) chaos.Scenario {
+	sc := chaos.Scenario{
+		Name:        "paper-incidents",
+		Description: "the operational incidents of the paper's 17-month census (§7)",
+	}
+	if ev.None {
+		return sc
+	}
+	if ev.DNSOutage != (netsim.DayRange{}) {
+		sc.Impairments = append(sc.Impairments, chaos.Impairment{
+			Kind:  chaos.Blackhole,
+			Scope: chaos.Scope{Days: ev.DNSOutage, Protocols: []packet.Protocol{packet.DNS}},
+		})
+	}
+	for day := 0; day < ev.WorkerLossFixDay; day++ {
+		missing := missingWorkers(ev, day, sites)
+		if len(missing) == 0 {
+			continue
+		}
+		workers := make([]int, 0, len(missing))
+		for wk := range missing {
+			workers = append(workers, wk)
+		}
+		sort.Ints(workers)
+		sc.Impairments = append(sc.Impairments, chaos.Impairment{
+			Kind:  chaos.SiteOutage,
+			Scope: chaos.Scope{Days: chaos.Days(day, day), Workers: workers},
+		})
+	}
+	return sc
 }
 
 // Config parameterises a longitudinal run.
@@ -115,8 +173,7 @@ func Run(w *netsim.World, cfg Config) (*History, error) {
 	if cfg.Stride <= 0 {
 		cfg.Stride = 1
 	}
-	if cfg.Events.WorkerLossPeriod == 0 && cfg.Events.WorkerLossFixDay == 0 && len(cfg.Events.GCDLSDays) == 0 &&
-		cfg.Events.DNSOutage == (netsim.DayRange{}) {
+	if cfg.Events.isZero() {
 		cfg.Events = DefaultEvents()
 	}
 	dep, err := platform.Tangled(w, netsim.PolicyUnmodified)
@@ -162,6 +219,10 @@ func Run(w *netsim.World, cfg Config) (*History, error) {
 		gcdlsAt[d] = true
 	}
 
+	// The calendar's incidents, re-expressed once as a chaos scenario
+	// bundle; the pipeline resolves the impairments active on each day.
+	incidents := cfg.Events.Scenario(dep.NumSites())
+
 	for day := 0; day < cfg.Days; day += cfg.Stride {
 		if cfg.Progress != nil {
 			cfg.Progress(day)
@@ -178,9 +239,11 @@ func Run(w *netsim.World, cfg Config) (*History, error) {
 				h.GCDLS = append(h.GCDLS, GCDLSRun{Day: day, V6: v6, Anycast: len(ls.Anycast)})
 			}
 		}
-		opts := core.DayOptions{
-			MissingWorkers: missingWorkers(w, cfg.Events, day, dep.NumSites()),
-			DNSBroken:      cfg.Events.DNSOutage.Contains(day),
+		var opts core.DayOptions
+		if incidents.ActiveOn(day) {
+			// Only incident days pay for the fault-injection hook; clean
+			// days keep the nil-impairer fast path.
+			opts.Chaos = &incidents
 		}
 		for _, v6 := range families {
 			c, err := pipe.RunDaily(day, v6, opts)
@@ -236,8 +299,9 @@ func vultrVPs(w *netsim.World) ([]netsim.VP, error) {
 
 // missingWorkers models the pre-fix worker disconnections (§7): before
 // WorkerLossFixDay, every WorkerLossPeriod-th day loses a deterministic
-// handful of sites.
-func missingWorkers(w *netsim.World, ev Events, day, sites int) map[int]bool {
+// handful of sites. Events.Scenario compiles these into SiteOutage
+// impairments.
+func missingWorkers(ev Events, day, sites int) map[int]bool {
 	if ev.WorkerLossPeriod <= 0 || day >= ev.WorkerLossFixDay {
 		return nil
 	}

@@ -3,6 +3,7 @@ package longitudinal
 import (
 	"testing"
 
+	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
 )
@@ -64,7 +65,7 @@ func TestWorkerLossOnlyBeforeFix(t *testing.T) {
 	ev := DefaultEvents()
 	sawLoss := false
 	for day := 0; day < 534; day++ {
-		missing := missingWorkers(testWorld, ev, day, 32)
+		missing := missingWorkers(ev, day, 32)
 		if len(missing) > 0 {
 			sawLoss = true
 			if day >= ev.WorkerLossFixDay {
@@ -194,6 +195,73 @@ func TestStrideDefaults(t *testing.T) {
 	}
 	if len(h.SummariesV4) != 3 || len(h.SummariesV6) != 0 {
 		t.Fatalf("V4Only run produced %d/%d summaries", len(h.SummariesV4), len(h.SummariesV6))
+	}
+}
+
+func TestNoEventsExplicit(t *testing.T) {
+	h, err := Run(testWorld, Config{Days: 2, Stride: 1, V4Only: true, Events: NoEvents()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.SummariesV4) != 2 {
+		t.Fatalf("produced %d summaries, want 2", len(h.SummariesV4))
+	}
+	for _, s := range h.SummariesV4 {
+		if s.Workers != 32 {
+			t.Fatalf("day %d lost workers without events", s.Day)
+		}
+		if s.AC[packet.DNS] == 0 {
+			t.Fatalf("day %d has no DNS candidates under NoEvents", s.Day)
+		}
+	}
+	if len(h.GCDLS) != 0 {
+		t.Fatal("NoEvents ran GCD_LS sweeps")
+	}
+	// The ambiguous zero value still substitutes the default calendar.
+	if !(Events{}).isZero() || (NoEvents()).isZero() || (DefaultEvents()).isZero() {
+		t.Fatal("isZero misclassifies calendars")
+	}
+}
+
+func TestEventsScenarioBundle(t *testing.T) {
+	ev := DefaultEvents()
+	sc := ev.Scenario(32)
+	if sc.Name != "paper-incidents" || len(sc.Impairments) == 0 {
+		t.Fatalf("scenario bundle degenerate: %q with %d impairments", sc.Name, len(sc.Impairments))
+	}
+	// The DNS outage is a protocol-scoped blackhole over the same window.
+	dns := sc.Impairments[0]
+	if dns.Kind != chaos.Blackhole || dns.Scope.Days != ev.DNSOutage ||
+		len(dns.Scope.Protocols) != 1 || dns.Scope.Protocols[0] != packet.DNS {
+		t.Fatalf("DNS outage compiled to %+v", dns)
+	}
+	// Every worker-loss day appears as a one-day site outage matching the
+	// legacy selection, and no outage exists after the reconnect fix.
+	outages := make(map[int][]int)
+	for _, imp := range sc.Impairments[1:] {
+		day := imp.Scope.Days.To
+		if imp.Kind != chaos.SiteOutage || !imp.Scope.Days.Contains(day) || imp.Scope.Days.Contains(day+1) {
+			t.Fatalf("unexpected impairment %+v", imp)
+		}
+		if day >= ev.WorkerLossFixDay {
+			t.Fatalf("site outage at day %d after the fix", day)
+		}
+		outages[day] = imp.Scope.Workers
+	}
+	for day := 0; day < 534; day++ {
+		legacy := missingWorkers(ev, day, 32)
+		got := outages[day]
+		if len(legacy) != len(got) {
+			t.Fatalf("day %d: bundle lost %v, legacy lost %v", day, got, legacy)
+		}
+		for _, wk := range got {
+			if !legacy[wk] {
+				t.Fatalf("day %d: bundle site %d not in legacy set %v", day, wk, legacy)
+			}
+		}
+	}
+	if nothing := NoEvents().Scenario(32); len(nothing.Impairments) != 0 {
+		t.Fatal("NoEvents produced impairments")
 	}
 }
 

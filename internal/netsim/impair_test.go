@@ -1,0 +1,160 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// fakeImpairer is a scriptable netsim.Impairer for hook tests.
+type fakeImpairer struct {
+	anycast func(d *Deployment, worker int, tg *Target, ctx ProbeCtx) ProbeImpairment
+	unicast func(vp VP, tg *Target, proto packet.Protocol, at time.Time) ProbeImpairment
+}
+
+func (f *fakeImpairer) ImpairAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx) ProbeImpairment {
+	if f.anycast == nil {
+		return ProbeImpairment{}
+	}
+	return f.anycast(d, worker, tg, ctx)
+}
+
+func (f *fakeImpairer) ImpairUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time) ProbeImpairment {
+	if f.unicast == nil {
+		return ProbeImpairment{}
+	}
+	return f.unicast(vp, tg, proto, at)
+}
+
+// responsiveTarget returns some ICMP-responsive target.
+func responsiveTarget(t *testing.T, w *World) *Target {
+	t.Helper()
+	for i := range w.TargetsV4 {
+		if w.TargetsV4[i].Responsive[packet.ICMP] {
+			return &w.TargetsV4[i]
+		}
+	}
+	t.Fatal("no ICMP-responsive target")
+	return nil
+}
+
+func TestImpairerHook(t *testing.T) {
+	w, err := New(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tangled(t, w, PolicyUnmodified)
+	tg := responsiveTarget(t, w)
+	ctx := ProbeCtx{
+		At:   DayTime(3),
+		Flow: FlowKey{Proto: packet.ICMP, StaticFlow: 1},
+		Gap:  time.Second,
+		Seq:  uint64(tg.ID),
+	}
+	baseline, ok := w.ProbeAnycast(d, 0, tg, ctx)
+	if !ok {
+		t.Fatal("baseline probe unanswered")
+	}
+
+	// Drop loses the probe.
+	w.SetImpairer(&fakeImpairer{anycast: func(*Deployment, int, *Target, ProbeCtx) ProbeImpairment {
+		return ProbeImpairment{Drop: true}
+	}})
+	if _, ok := w.ProbeAnycast(d, 0, tg, ctx); ok {
+		t.Fatal("dropped probe still delivered")
+	}
+
+	// ExtraRTT is added verbatim on top of the modelled latency.
+	w.SetImpairer(&fakeImpairer{anycast: func(*Deployment, int, *Target, ProbeCtx) ProbeImpairment {
+		return ProbeImpairment{ExtraRTT: 40 * time.Millisecond}
+	}})
+	if del, ok := w.ProbeAnycast(d, 0, tg, ctx); !ok || del.RTT != baseline.RTT+40*time.Millisecond {
+		t.Fatalf("delay hook: got %v ok=%v, want %v", del.RTT, ok, baseline.RTT+40*time.Millisecond)
+	}
+
+	// TimeShift moves the probe across day boundaries (clock skew).
+	var seenDay int
+	w.SetImpairer(&fakeImpairer{anycast: func(_ *Deployment, _ int, _ *Target, c ProbeCtx) ProbeImpairment {
+		seenDay = DayOf(c.At)
+		return ProbeImpairment{TimeShift: 24 * time.Hour}
+	}})
+	w.ProbeAnycast(d, 0, tg, ctx)
+	if seenDay != 3 {
+		t.Fatalf("hook saw day %d, want the unshifted day 3", seenDay)
+	}
+
+	// Uninstalling restores baseline behaviour exactly.
+	w.SetImpairer(nil)
+	if del, ok := w.ProbeAnycast(d, 0, tg, ctx); !ok || del != baseline {
+		t.Fatal("uninstalling the impairer did not restore baseline delivery")
+	}
+}
+
+func TestImpairerHookUnicast(t *testing.T) {
+	w, err := New(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg := responsiveTarget(t, w)
+	vp, err := w.NewVP("impair-vp", "Amsterdam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := DayTime(3)
+	baseRTT, baseSite, ok := w.ProbeUnicast(vp, tg, packet.ICMP, at, 1)
+	if !ok {
+		t.Skip("VP/target pair unlucky with GCD loss")
+	}
+
+	w.SetImpairer(&fakeImpairer{unicast: func(VP, *Target, packet.Protocol, time.Time) ProbeImpairment {
+		return ProbeImpairment{Drop: true}
+	}})
+	if _, _, ok := w.ProbeUnicast(vp, tg, packet.ICMP, at, 1); ok {
+		t.Fatal("dropped unicast probe still answered")
+	}
+
+	w.SetImpairer(&fakeImpairer{unicast: func(VP, *Target, packet.Protocol, time.Time) ProbeImpairment {
+		return ProbeImpairment{ExtraRTT: 25 * time.Millisecond}
+	}})
+	rtt, site, ok := w.ProbeUnicast(vp, tg, packet.ICMP, at, 1)
+	if !ok || site != baseSite || rtt != baseRTT+25*time.Millisecond {
+		t.Fatalf("unicast delay hook: rtt=%v site=%d ok=%v", rtt, site, ok)
+	}
+
+	// The /32 sweep's direct paths consult the hook too.
+	w.SetImpairer(&fakeImpairer{unicast: func(VP, *Target, packet.Protocol, time.Time) ProbeImpairment {
+		return ProbeImpairment{Drop: true}
+	}})
+	for off := 0; off < 256; off++ {
+		if _, _, ok := w.ProbeUnicastAddr(vp, tg, uint8(off), packet.ICMP, at, 1); ok {
+			t.Fatalf("blackholed sweep probe at offset %d still answered", off)
+		}
+	}
+	w.SetImpairer(nil)
+}
+
+// TestProbeHotPathNoAllocs guards the nil-impairer fast path: once the
+// routing caches are warm, an anycast probe must not allocate — chaos
+// support may not tax the clean census.
+func TestProbeHotPathNoAllocs(t *testing.T) {
+	w, err := New(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tangled(t, w, PolicyUnmodified)
+	tg := responsiveTarget(t, w)
+	ctx := ProbeCtx{
+		At:   DayTime(3),
+		Flow: FlowKey{Proto: packet.ICMP, StaticFlow: 1},
+		Gap:  time.Second,
+		Seq:  uint64(tg.ID),
+	}
+	w.ProbeAnycast(d, 0, tg, ctx) // warm the routing caches
+	allocs := testing.AllocsPerRun(200, func() {
+		w.ProbeAnycast(d, 0, tg, ctx)
+	})
+	if allocs != 0 {
+		t.Fatalf("warm anycast probe allocates %.1f objects per run, want 0", allocs)
+	}
+}

@@ -54,6 +54,17 @@ func (w *World) ProbeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx
 	if !tg.Responsive[proto] {
 		return Delivery{}, false
 	}
+	var extraRTT time.Duration
+	if w.imp != nil {
+		pi := w.imp.ImpairAnycast(d, worker, tg, ctx)
+		if pi.Drop {
+			return Delivery{}, false
+		}
+		if pi.TimeShift != 0 {
+			ctx.At = ctx.At.Add(pi.TimeShift)
+		}
+		extraRTT = pi.ExtraRTT
+	}
 	day := DayOf(ctx.At)
 	at := ctx.At.Unix()
 
@@ -77,7 +88,7 @@ func (w *World) ProbeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx
 		d1 := w.distKm(workerCity, fromCity)
 		d2 := w.distKm(fromCity, d.Sites[recv].CityIdx)
 		rtt := w.rttOverDistance((d1+d2)/2, mix(w.seed, uint64(tg.ID), uint64(worker), 0xa), proto, ctx.Seq)
-		return Delivery{WorkerIdx: recv, RTT: rtt, SiteIdx: site}, true
+		return Delivery{WorkerIdx: recv, RTT: rtt + extraRTT, SiteIdx: site}, true
 
 	case GlobalUnicast:
 		// Probes ingress at the nearest edge PoP, route internally to the
@@ -91,14 +102,14 @@ func (w *World) ProbeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx
 		dist := w.distKm(workerCity, tg.Sites[ingress].CityIdx) +
 			w.distKm(tg.Sites[ingress].CityIdx, tg.CityIdx)
 		rtt := w.rttOverDistance(dist, mix(w.seed, uint64(tg.ID), uint64(worker), 0xb), proto, ctx.Seq)
-		return Delivery{WorkerIdx: recv, RTT: rtt, SiteIdx: -1}, true
+		return Delivery{WorkerIdx: recv, RTT: rtt + extraRTT, SiteIdx: -1}, true
 
 	default: // Unicast, PartialAnycast, BackingAnycast representatives
 		recv := w.receiver(d, tg, tg.CityIdx, worker, ctx.Flow, at, day)
 		d1 := w.distKm(workerCity, tg.CityIdx)
 		d2 := w.distKm(tg.CityIdx, d.Sites[recv].CityIdx)
 		rtt := w.rttOverDistance((d1+d2)/2, mix(w.seed, uint64(tg.ID), uint64(worker), 0xc), proto, ctx.Seq)
-		return Delivery{WorkerIdx: recv, RTT: rtt, SiteIdx: -1}, true
+		return Delivery{WorkerIdx: recv, RTT: rtt + extraRTT, SiteIdx: -1}, true
 	}
 }
 
@@ -109,6 +120,35 @@ func (w *World) ProbeUnicast(vp VP, tg *Target, proto packet.Protocol, at time.T
 	if !tg.Responsive[proto] {
 		return 0, -1, false
 	}
+	at, extraRTT, drop := w.impairUnicast(vp, tg, proto, at)
+	if drop {
+		return 0, -1, false
+	}
+	rtt, site, ok := w.probeUnicast(vp, tg, proto, at, seq)
+	if !ok {
+		return 0, -1, false
+	}
+	return rtt + extraRTT, site, true
+}
+
+// impairUnicast consults the fault-injection hook for one unicast probe.
+// With no impairer installed it is a single nil check.
+func (w *World) impairUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time) (time.Time, time.Duration, bool) {
+	if w.imp == nil {
+		return at, 0, false
+	}
+	pi := w.imp.ImpairUnicast(vp, tg, proto, at)
+	if pi.Drop {
+		return at, 0, true
+	}
+	if pi.TimeShift != 0 {
+		at = at.Add(pi.TimeShift)
+	}
+	return at, pi.ExtraRTT, false
+}
+
+// probeUnicast is ProbeUnicast after responsiveness and impairment checks.
+func (w *World) probeUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
 	day := DayOf(at)
 	// Transient per-(VP, target, day) measurement failure: the path from
 	// this monitor yields no samples today (§5.1.2's "probe measurement
@@ -151,9 +191,16 @@ func (w *World) ProbeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.P
 	if tg.Kind == PartialAnycast {
 		for _, a := range tg.PartialAddrs {
 			if a == offset {
+				// The sweep's direct branches have no time-dependent
+				// behaviour, so an impairer's TimeShift is a no-op here
+				// (unlike ProbeUnicast, where it moves churn epochs).
+				_, extraRTT, drop := w.impairUnicast(vp, tg, proto, at)
+				if drop {
+					return 0, -1, false
+				}
 				site := w.targetSite(tg, vp.CityIdx, isV6(tg))
 				key := mix(w.seed, hashString(vp.Name), uint64(tg.ID), uint64(offset))
-				return w.rttOverDistance(w.distKm(vp.CityIdx, tg.Sites[site].CityIdx), key, proto, seq), site, true
+				return w.rttOverDistance(w.distKm(vp.CityIdx, tg.Sites[site].CityIdx), key, proto, seq) + extraRTT, site, true
 			}
 		}
 	}
@@ -164,8 +211,12 @@ func (w *World) ProbeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.P
 	if !chance(mix(w.seed, uint64(tg.ID), uint64(offset), 0x3e59), 0.3) {
 		return 0, -1, false
 	}
+	_, extraRTT, drop := w.impairUnicast(vp, tg, proto, at)
+	if drop {
+		return 0, -1, false
+	}
 	key := mix(w.seed, hashString(vp.Name), uint64(tg.ID), uint64(offset))
-	return w.rttOverDistance(w.distKm(vp.CityIdx, tg.CityIdx), key, proto, seq), -1, true
+	return w.rttOverDistance(w.distKm(vp.CityIdx, tg.CityIdx), key, proto, seq) + extraRTT, -1, true
 }
 
 // repOffset returns the last byte of the representative address.

@@ -3,14 +3,17 @@ package netsim
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"github.com/laces-project/laces/internal/cities"
+	"github.com/laces-project/laces/internal/packet"
 )
 
 // World is the simulated Internet: ASes, targets (the hitlist universe),
 // modelled operators, BGP announcements, and a deterministic routing and
 // latency model on top. A World is immutable after New and safe for
-// concurrent use.
+// concurrent use, with one exception: SetImpairer swaps the fault-injection
+// hook and must not race with in-flight probes.
 type World struct {
 	Cfg Config
 	DB  *cities.DB
@@ -31,10 +34,50 @@ type World struct {
 	nCities int
 	dist    []float64 // nCities × nCities great circle km
 
+	imp Impairer
+
 	mu         sync.Mutex
 	replyCache map[replyKey]replyVal
 	siteCache  map[siteKey]uint16
 }
+
+// ProbeImpairment is an Impairer's verdict on a single probe.
+type ProbeImpairment struct {
+	// Drop loses the probe (or its reply): the measurement records no
+	// response from this target for this transmission.
+	Drop bool
+	// ExtraRTT is added latency (impaired paths, queueing under load).
+	ExtraRTT time.Duration
+	// TimeShift offsets the probe's effective transmit time before routing
+	// decisions are made: worker clock skew and route-flap amplification
+	// both work by moving probes across churn/stability epochs.
+	TimeShift time.Duration
+}
+
+// Impairer injects probe-level faults into the simulation — the chaos
+// engine's hook (internal/chaos implements it). Implementations must be
+// deterministic pure functions of the world seed and the probe's identity
+// so impaired measurements stay byte-for-byte reproducible.
+type Impairer interface {
+	// ImpairAnycast rules on one anycast-stage probe: worker `worker` of
+	// deployment d probing tg.
+	ImpairAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx) ProbeImpairment
+	// ImpairUnicast rules on one latency-stage (GCD) probe from vp to tg.
+	ImpairUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time) ProbeImpairment
+}
+
+// SetImpairer installs (or, with nil, removes) the fault-injection hook.
+// Call it only between measurements: probes in flight on other goroutines
+// must not race with the swap. With no impairer installed the probe hot
+// path pays a single nil check.
+func (w *World) SetImpairer(i Impairer) { w.imp = i }
+
+// Impairer returns the currently installed fault-injection hook, or nil.
+func (w *World) Impairer() Impairer { return w.imp }
+
+// Seed exposes the world's derived seed so deterministic subsystems
+// (internal/chaos) can key their hash decisions off it.
+func (w *World) Seed() uint64 { return w.seed }
 
 // cityIndex returns the database index of a city by name.
 func (w *World) cityIndex(name string) (int, error) {

@@ -247,6 +247,58 @@ func TestMeasurementSurvivesWorkerLoss(t *testing.T) {
 	}
 }
 
+func TestMeasurementSurvivesInjectedDisconnect(t *testing.T) {
+	o, dep, cancel := startCluster(t, 4)
+	defer cancel()
+	w := world(t)
+
+	// A fifth worker with deterministic fault injection: it probes a
+	// handful of targets, then drops its connection mid-measurement (the
+	// pre-July-2025 disconnect incidents). The long reconnect floor keeps
+	// it out of the rest of the test.
+	ctx, cancelChaos := context.WithCancel(context.Background())
+	defer cancelChaos()
+	wk, err := worker.New(worker.Config{
+		Name:         "chaos",
+		Orchestrator: o.Addr(),
+		NewProber: func(self int) (worker.Prober, error) {
+			return worker.NewSimProber(w, dep, self%dep.NumSites())
+		},
+		ReconnectMin:     time.Minute,
+		Logf:             t.Logf,
+		FailAfterTargets: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	go wk.Run(ctx)
+	deadline := time.Now().Add(5 * time.Second)
+	for o.NumWorkers() < 5 {
+		if time.Now().After(deadline) {
+			t.Fatal("chaos worker did not connect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	addrs, _, _ := pickTargets(w, 20)
+	cli := &client.Client{Addr: o.Addr()}
+	runCtx, cancelRun := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancelRun()
+	out, err := cli.Run(runCtx, wire.MeasurementDef{ID: 11, Protocol: "ICMP", OffsetMS: 1000, Rate: 1e6}, addrs, nil)
+	if err != nil {
+		t.Fatalf("measurement did not survive the injected disconnect: %v", err)
+	}
+	if out.Workers != 5 {
+		t.Fatalf("measurement started with %d workers, want 5", out.Workers)
+	}
+	if len(out.Results) == 0 {
+		t.Fatal("no results after injected disconnect")
+	}
+	if o.NumWorkers() >= 5 {
+		t.Fatal("injected disconnect did not drop the chaos worker")
+	}
+}
+
 func TestWorkerReconnects(t *testing.T) {
 	w := world(t)
 	dep, err := w.NewDeployment("itest-rc", eightSites[:2], netsim.PolicyUnmodified)

@@ -52,6 +52,12 @@ type Config struct {
 	Logf func(format string, args ...any)
 	// Dialer allows tests to intercept connections; nil uses net.Dialer.
 	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// FailAfterTargets, when positive, forcibly drops the connection after
+	// this many targets have been probed in a session — deterministic
+	// mid-measurement disconnect injection (chaos testing of the §4.2.3
+	// failure awareness: the orchestrator must complete the measurement
+	// with the surviving workers while this one backs off and reconnects).
+	FailAfterTargets int64
 }
 
 // Worker runs the worker loop.
@@ -179,6 +185,9 @@ func (w *Worker) session(ctx context.Context) error {
 					return fmt.Errorf("worker: probing %s: %w", addr, err)
 				}
 				sent++
+				if w.cfg.FailAfterTargets > 0 && sent >= w.cfg.FailAfterTargets {
+					return fmt.Errorf("worker: injected disconnect after %d targets", sent)
+				}
 				for _, r := range replies {
 					res := wire.Result{
 						Measurement: def.ID,

@@ -25,6 +25,15 @@
 // while the Orchestrator/Worker/CLI measurement plane runs over real TCP
 // sockets and real packet codecs.
 //
+// On top of the simulator sits a deterministic chaos layer (see
+// internal/chaos): composable impairments — packet loss, delay, blackhole,
+// site outage, regional partition, route-flap amplification, clock skew,
+// reply throttling — scoped by target, AS, worker, protocol and day range,
+// bundled into named scenarios and injected through DayOptions.Chaos. The
+// same world seed and scenario always produce a byte-identical census, so
+// failure drills are reproducible experiments; `laces-experiments chaos`
+// scores every built-in scenario against the clean baseline.
+//
 // # Quick start
 //
 //	world, _ := laces.NewWorld(laces.TestConfig())
@@ -45,6 +54,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/geo"
 	"github.com/laces-project/laces/internal/hitlist"
@@ -122,6 +132,31 @@ type (
 	CensusDiff = report.DiffResult
 )
 
+// Chaos (fault-injection) types.
+type (
+	// ChaosImpairment is one scoped fault (loss, delay, blackhole, site
+	// outage, partition, route flap, clock skew, throttle).
+	ChaosImpairment = chaos.Impairment
+	// ChaosScope bounds where and when an impairment applies.
+	ChaosScope = chaos.Scope
+	// ChaosScenario is a named schedule of impairments over the census
+	// timeline; set it on DayOptions.Chaos.
+	ChaosScenario = chaos.Scenario
+	// ChaosEngine is a scenario compiled against a world — the
+	// netsim-level probe impairer.
+	ChaosEngine = chaos.Engine
+	// ChaosReport is the resilience table: census accuracy per scenario
+	// against the clean baseline.
+	ChaosReport = chaos.Report
+	// ChaosOutcome is one scored census run inside a ChaosReport.
+	ChaosOutcome = chaos.Outcome
+	// ChaosMethodStats holds precision/recall counts for one census method.
+	ChaosMethodStats = chaos.MethodStats
+)
+
+// ChaosScore compares a claimed target-ID set against a ground-truth set.
+func ChaosScore(claimed, truth map[int]bool) ChaosMethodStats { return chaos.Score(claimed, truth) }
+
 // Probing protocols.
 const (
 	ICMP = packet.ICMP
@@ -185,6 +220,25 @@ func AnalyzeGCD(samples []GCDSample) GCDResult {
 func RunGCDLS(w *World, vps []VP, v6 bool, day int) *GCDLSResult {
 	return core.RunGCDLS(w, vps, v6, day)
 }
+
+// ChaosScenarios lists the registered chaos scenario names (the built-in
+// suite plus anything added with RegisterChaosScenario).
+func ChaosScenarios() []string { return chaos.Names() }
+
+// ChaosScenarioByName looks up a registered chaos scenario.
+func ChaosScenarioByName(name string) (ChaosScenario, bool) { return chaos.Lookup(name) }
+
+// RegisterChaosScenario adds a custom scenario to the registry.
+func RegisterChaosScenario(s ChaosScenario) { chaos.Register(s) }
+
+// NewChaosEngine compiles a scenario against a world. The census pipeline
+// does this automatically for DayOptions.Chaos; use it directly (with
+// World.SetImpairer) to impair raw netsim probing.
+func NewChaosEngine(w *World, s ChaosScenario) *ChaosEngine { return chaos.NewEngine(w, s) }
+
+// NoEvents is the explicitly empty longitudinal event calendar: a clean
+// census with no substituted default incidents.
+func NoEvents() longitudinal.Events { return longitudinal.NoEvents() }
 
 // RunLongitudinal executes a multi-day census (§7). Stride 1 is a full
 // daily census; larger strides sample the timeline.
