@@ -32,8 +32,9 @@ func chaosBenchWorld(b *testing.B) *netsim.World {
 	return chaosBenchW
 }
 
-// runDailyOnce executes one day-0 census on a fresh pipeline.
-func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario) {
+// runDailyOnce executes one day-0 census on a fresh pipeline at the given
+// stage parallelism (1 = sequential baseline, 0 = all cores).
+func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario, parallelism int) {
 	b.Helper()
 	dep, err := platform.Tangled(w, netsim.PolicyUnmodified)
 	if err != nil {
@@ -44,6 +45,7 @@ func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario) {
 		GCDVPs: func(day int, v6 bool) ([]netsim.VP, error) {
 			return platform.Ark(w, day, v6)
 		},
+		Parallelism: parallelism,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -57,16 +59,28 @@ func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario) {
 	}
 }
 
-// BenchmarkDailyCensus is the clean-pipeline guard: the chaos layer's
-// nil-impairment fast path must keep this within noise of the pre-chaos
-// seed (the hot path pays one nil check and zero allocations — see
-// netsim's TestProbeHotPathNoAllocs).
+// BenchmarkDailyCensus is the sequential clean-pipeline guard: the chaos
+// layer's nil-impairment fast path must keep this within noise of the
+// pre-chaos seed (the hot path pays one nil check and zero allocations —
+// see netsim's TestProbeHotPathNoAllocs).
 func BenchmarkDailyCensus(b *testing.B) {
 	w := chaosBenchWorld(b)
-	runDailyOnce(b, w, nil) // warm routing caches outside the timer
+	runDailyOnce(b, w, nil, 1) // warm routing caches outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runDailyOnce(b, w, nil)
+		runDailyOnce(b, w, nil, 1)
+	}
+}
+
+// BenchmarkDailyCensusParallel is the same census with every stage sharded
+// across all cores — the engine's headline speedup over the sequential
+// baseline (byte-identical output; see TestParallelCensusDeterminism).
+func BenchmarkDailyCensusParallel(b *testing.B) {
+	w := chaosBenchWorld(b)
+	runDailyOnce(b, w, nil, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runDailyOnce(b, w, nil, 0)
 	}
 }
 
@@ -80,10 +94,10 @@ func BenchmarkDailyCensusChaos(b *testing.B) {
 	if !ok {
 		b.Fatal("lossy-transit scenario missing")
 	}
-	runDailyOnce(b, w, &sc)
+	runDailyOnce(b, w, &sc, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runDailyOnce(b, w, &sc)
+		runDailyOnce(b, w, &sc, 1)
 	}
 }
 

@@ -284,7 +284,7 @@ func runCensus(args []string) error {
 	}
 	fmt.Printf("census day %d (%s): hitlist=%d candidates=%d G=%d M=%d probes=%d+%d (%.1fs)\n",
 		*day, c.Day.Format(time.DateOnly), c.HitlistSize, len(c.Candidates()),
-		len(c.G()), len(c.M()), c.ProbesAnycastStage, c.ProbesGCDStage,
+		c.CountG(), c.CountM(), c.ProbesAnycastStage, c.ProbesGCDStage,
 		time.Since(start).Seconds())
 	for _, a := range c.Alerts {
 		fmt.Printf("ALERT [%s]: %s\n", a.Kind, a.Message)

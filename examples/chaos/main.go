@@ -30,7 +30,7 @@ func main() {
 	}
 
 	fmt.Printf("clean baseline on day %d: |G|=%d |M|=%d\n\n",
-		day, len(baseline.G()), len(baseline.M()))
+		day, baseline.CountG(), baseline.CountM())
 
 	report := &laces.ChaosReport{Baseline: score("baseline", "no faults injected", baseline, truth)}
 	for _, name := range laces.ChaosScenarios() {

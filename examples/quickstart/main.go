@@ -45,8 +45,8 @@ func main() {
 	fmt.Printf("LACeS daily census, %s (day 0)\n", census.Day.Format(time.DateOnly))
 	fmt.Printf("  hitlist:                %d responsive /24s\n", census.HitlistSize)
 	fmt.Printf("  anycast candidates:     %d\n", len(census.Candidates()))
-	fmt.Printf("  GCD-confirmed (G):      %d\n", len(census.G()))
-	fmt.Printf("  anycast-based only (M): %d\n", len(census.M()))
+	fmt.Printf("  GCD-confirmed (G):      %d\n", census.CountG())
+	fmt.Printf("  anycast-based only (M): %d\n", census.CountM())
 	fmt.Printf("  probing cost:           %d anycast-stage + %d GCD-stage probes\n",
 		census.ProbesAnycastStage, census.ProbesGCDStage)
 	fmt.Printf("  wall clock:             %.2fs\n\n", time.Since(start).Seconds())

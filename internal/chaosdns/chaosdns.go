@@ -15,6 +15,7 @@ import (
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/par"
 )
 
 // Observation is the CHAOS census output for one nameserver.
@@ -36,34 +37,43 @@ func (o Observation) UniqueRecords() int { return len(o.Records) }
 func (o Observation) MultiRecord() bool { return len(o.Records) > 1 }
 
 // Census queries every DNS-responsive hitlist entry from every worker of
-// the deployment and collects the identity records.
-func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time) map[int]Observation {
-	out := make(map[int]Observation)
+// the deployment and collects the identity records. The entry loop is
+// sharded across `parallelism` goroutines (<= 0 means GOMAXPROCS, 1 is
+// sequential); per-target observations are independent, so the returned
+// map is identical at every worker count.
+func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time, parallelism int) map[int]Observation {
+	entries := hl.FilterProtocol(packet.DNS)
 	targets := w.Targets(hl.V6)
-	for _, e := range hl.FilterProtocol(packet.DNS) {
-		tg := &targets[e.TargetID]
-		obs := Observation{TargetID: e.TargetID, Records: make(map[string]bool)}
-		for wk := 0; wk < d.NumSites(); wk++ {
-			ctx := netsim.ProbeCtx{
-				At:   at.Add(time.Duration(wk) * time.Second),
-				Flow: netsim.FlowKey{Proto: packet.DNS, StaticFlow: 0xc4, VaryingPayload: uint64(wk + 1)},
-				Gap:  time.Second,
-				Seq:  uint64(e.TargetID),
+	all, _ := par.Gather(len(entries), parallelism, func(start, end int, sh *par.Shard[Observation]) {
+		for _, e := range entries[start:end] {
+			tg := &targets[e.TargetID]
+			obs := Observation{TargetID: e.TargetID, Records: make(map[string]bool)}
+			for wk := 0; wk < d.NumSites(); wk++ {
+				ctx := netsim.ProbeCtx{
+					At:   at.Add(time.Duration(wk) * time.Second),
+					Flow: netsim.FlowKey{Proto: packet.DNS, StaticFlow: 0xc4, VaryingPayload: uint64(wk + 1)},
+					Gap:  time.Second,
+					Seq:  uint64(e.TargetID),
+				}
+				del, ok := w.ProbeAnycast(d, wk, tg, ctx)
+				if !ok {
+					continue
+				}
+				// Each query observes the record of the site (or co-located
+				// server) that answered it.
+				rec, ok := w.ChaosRecord(tg, del.SiteIdx, uint64(e.TargetID)*64+uint64(wk))
+				if !ok {
+					continue
+				}
+				obs.Supported = true
+				obs.Records[rec] = true
 			}
-			del, ok := w.ProbeAnycast(d, wk, tg, ctx)
-			if !ok {
-				continue
-			}
-			// Each query observes the record of the site (or co-located
-			// server) that answered it.
-			rec, ok := w.ChaosRecord(tg, del.SiteIdx, uint64(e.TargetID)*64+uint64(wk))
-			if !ok {
-				continue
-			}
-			obs.Supported = true
-			obs.Records[rec] = true
+			sh.Out = append(sh.Out, obs)
 		}
-		out[e.TargetID] = obs
+	})
+	out := make(map[int]Observation, len(entries))
+	for _, obs := range all {
+		out[obs.TargetID] = obs
 	}
 	return out
 }

@@ -28,7 +28,7 @@ func mustCensus() map[int]Observation {
 	if err != nil {
 		panic(err)
 	}
-	return Census(testWorld, d, testHL, netsim.DayTime(40))
+	return Census(testWorld, d, testHL, netsim.DayTime(40), 1)
 }
 
 func TestCensusCoversDNSHitlist(t *testing.T) {

@@ -1,0 +1,26 @@
+package chaosdns
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/platform"
+)
+
+// TestCensusParallelByteIdentical: the sharded CHAOS census must return
+// the same observation map as the sequential run at every worker count.
+func TestCensusParallelByteIdentical(t *testing.T) {
+	d, err := platform.Tangled(testWorld, netsim.PolicyUnmodified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := netsim.DayTime(40)
+	seq := Census(testWorld, d, testHL, at, 1)
+	for _, workers := range []int{0, 2, 5, 16} {
+		par := Census(testWorld, d, testHL, at, workers)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("parallelism=%d: CHAOS census diverges from sequential run", workers)
+		}
+	}
+}

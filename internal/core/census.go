@@ -126,6 +126,24 @@ func (c *DailyCensus) G() []int { return c.filter(func(e *Entry) bool { return e
 // M returns the sorted target IDs in ℳ.
 func (c *DailyCensus) M() []int { return c.filter(func(e *Entry) bool { return e.InM() }) }
 
+// CountG returns |𝒢| without materialising and sorting the ID slice —
+// monitoring and reporting only need the count, and G() per day over a
+// longitudinal run is measurable allocation churn.
+func (c *DailyCensus) CountG() int { return c.count(func(e *Entry) bool { return e.InG() }) }
+
+// CountM returns |ℳ| without materialising and sorting the ID slice.
+func (c *DailyCensus) CountM() int { return c.count(func(e *Entry) bool { return e.InM() }) }
+
+func (c *DailyCensus) count(keep func(*Entry) bool) int {
+	n := 0
+	for _, e := range c.Entries {
+		if keep(e) {
+			n++
+		}
+	}
+	return n
+}
+
 // Candidates returns the sorted IDs of today's anycast candidates.
 func (c *DailyCensus) Candidates() []int {
 	return c.filter(func(e *Entry) bool { return e.IsCandidate() })
@@ -178,6 +196,12 @@ type Config struct {
 	// GlobalBGPVPs caps the traceroute vantage points drawn from the GCD
 	// pool (default 12 — the paper's manual confirmation used a handful).
 	GlobalBGPVPs int
+	// Parallelism shards the hot measurement loops of every census stage
+	// (anycast-based, GCD, CHAOS) across this many goroutines: <= 0 means
+	// GOMAXPROCS, 1 runs sequentially. The census is byte-identical at
+	// every worker count for the same (seed, scenario) inputs — see the
+	// README's "Concurrency model" section for the determinism contract.
+	Parallelism int
 }
 
 // DayOptions injects per-day conditions (failure modelling, §7). The
@@ -222,11 +246,16 @@ func (o DayOptions) scenario() *chaos.Scenario {
 			Scope: chaos.Scope{Protocols: []packet.Protocol{packet.DNS}},
 		})
 	}
-	if n > 0 {
-		workers := make([]int, 0, n)
-		for wk := range o.MissingWorkers {
+	workers := make([]int, 0, n)
+	for wk, dead := range o.MissingWorkers {
+		// Entries explicitly set to false are present workers; only true
+		// entries translate into a site outage (and a nil Workers scope
+		// would mean "all sites", so an all-false map must add nothing).
+		if dead {
 			workers = append(workers, wk)
 		}
+	}
+	if len(workers) > 0 {
 		sort.Ints(workers)
 		sc.Impairments = append(sc.Impairments, chaos.Impairment{
 			Kind:  chaos.SiteOutage,
@@ -311,7 +340,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		DayIndex:     day,
 		V6:           v6,
 		HitlistSize:  hl.Len(),
-		Workers:      p.Cfg.Deployment.NumSites() - len(missing),
+		Workers:      manycast.CountParticipants(p.Cfg.Deployment.NumSites(), missing),
 		Entries:      make(map[int]*Entry),
 		ReceiverHist: make(map[packet.Protocol]map[int]int),
 	}
@@ -323,6 +352,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		Rate:           p.Cfg.Rate,
 		MeasurementID:  uint16(day),
 		MissingWorkers: missing,
+		Parallelism:    p.Cfg.Parallelism,
 	}
 	results, err := manycast.MultiProtocol(w, p.Cfg.Deployment, hl, base, p.Cfg.Protocols)
 	if err != nil {
@@ -383,11 +413,12 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 			continue
 		}
 		rep := gcdmeas.Run(w, part.ids, v6, gcdmeas.Campaign{
-			VPs:      vps,
-			Proto:    part.proto,
-			At:       start.Add(6 * time.Hour),
-			Attempts: p.Cfg.GCDAttempts,
-			Analysis: igreedy.Options{},
+			VPs:         vps,
+			Proto:       part.proto,
+			At:          start.Add(6 * time.Hour),
+			Attempts:    p.Cfg.GCDAttempts,
+			Analysis:    igreedy.Options{},
+			Parallelism: p.Cfg.Parallelism,
 		})
 		census.ProbesGCDStage += rep.ProbesSent
 		for id, out := range rep.Outcomes {
@@ -462,6 +493,8 @@ func (p *Pipeline) screenGlobalBGP(census *DailyCensus, pool []netsim.VP, at tim
 }
 
 // mergeMissing unions two missing-worker sets without mutating either.
+// Only entries whose value is true carry over: a key explicitly set to
+// false marks a present worker and must not become missing in the union.
 func mergeMissing(a, b map[int]bool) map[int]bool {
 	if len(b) == 0 {
 		return a
@@ -470,11 +503,15 @@ func mergeMissing(a, b map[int]bool) map[int]bool {
 		return b
 	}
 	out := make(map[int]bool, len(a)+len(b))
-	for wk := range a {
-		out[wk] = true
+	for wk, dead := range a {
+		if dead {
+			out[wk] = true
+		}
 	}
-	for wk := range b {
-		out[wk] = true
+	for wk, dead := range b {
+		if dead {
+			out[wk] = true
+		}
 	}
 	return out
 }
@@ -510,7 +547,7 @@ func (p *Pipeline) annotateChaos(census *DailyCensus, hl *hitlist.Hitlist, start
 	if sub.Len() == 0 {
 		return
 	}
-	obs := chaosdns.Census(p.World, p.Cfg.Deployment, sub, start.Add(9*time.Hour))
+	obs := chaosdns.Census(p.World, p.Cfg.Deployment, sub, start.Add(9*time.Hour), p.Cfg.Parallelism)
 	for id, o := range obs {
 		if !o.Supported {
 			continue

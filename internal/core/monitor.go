@@ -71,7 +71,7 @@ func (p *Pipeline) monitor(c *DailyCensus) []Alert {
 
 	// Baseline deviation of the 𝒢 count.
 	fam := famIdx(c.V6)
-	gCount := len(c.G())
+	gCount := c.CountG()
 	if n := len(p.baseline[fam]); n >= 3 {
 		sum := 0
 		for _, v := range p.baseline[fam] {

@@ -91,8 +91,8 @@ func (c *DailyCensus) Document() *Document {
 		Family:      fam,
 		HitlistSize: c.HitlistSize,
 		Workers:     c.Workers,
-		GCount:      len(c.G()),
-		MCount:      len(c.M()),
+		GCount:      c.CountG(),
+		MCount:      c.CountM(),
 	}
 	for _, e := range c.sortedEntries() {
 		if !e.IsCandidate() && !e.GCDAnycast && !e.PartialAnycast {

@@ -12,6 +12,7 @@ import (
 	"github.com/laces-project/laces/internal/igreedy"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/par"
 )
 
 // Campaign configures one latency measurement campaign.
@@ -24,6 +25,10 @@ type Campaign struct {
 	Attempts int
 	// Analysis options (processing allowance, geolocation DB).
 	Analysis igreedy.Options
+	// Parallelism shards the target loop across this many goroutines
+	// (<= 0 means GOMAXPROCS, 1 is sequential); results are byte-identical
+	// at every worker count.
+	Parallelism int
 }
 
 // TargetOutcome is the GCD result for one target.
@@ -62,38 +67,49 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 	}
 	rep := &Report{Outcomes: make(map[int]TargetOutcome, len(targetIDs))}
 	targets := w.Targets(v6)
-	samples := make([]igreedy.Sample, 0, len(c.VPs))
-	for _, id := range targetIDs {
-		if id < 0 || id >= len(targets) {
-			continue
-		}
-		tg := &targets[id]
-		samples = samples[:0]
-		for _, vp := range c.VPs {
-			bestSet := false
-			var best time.Duration
-			for a := 0; a < attempts; a++ {
-				rep.ProbesSent++
-				rtt, _, ok := w.ProbeUnicast(vp, tg, c.Proto, c.At, uint64(a))
-				if !ok {
-					break // unresponsive targets never answer any attempt
+
+	// Sharded execution: each shard owns a contiguous range of the target
+	// list, a private sample buffer and probe counter; outcomes merge into
+	// the keyed map afterwards (per-target results are independent, so the
+	// map contents match the sequential run exactly).
+	outcomes, probes := par.Gather(len(targetIDs), c.Parallelism, func(start, end int, sh *par.Shard[TargetOutcome]) {
+		samples := make([]igreedy.Sample, 0, len(c.VPs))
+		for _, id := range targetIDs[start:end] {
+			if id < 0 || id >= len(targets) {
+				continue
+			}
+			tg := &targets[id]
+			samples = samples[:0]
+			for _, vp := range c.VPs {
+				bestSet := false
+				var best time.Duration
+				for a := 0; a < attempts; a++ {
+					sh.Count++
+					rtt, _, ok := w.ProbeUnicast(vp, tg, c.Proto, c.At, uint64(a))
+					if !ok {
+						break // unresponsive targets never answer any attempt
+					}
+					if !bestSet || rtt < best {
+						best, bestSet = rtt, true
+					}
 				}
-				if !bestSet || rtt < best {
-					best, bestSet = rtt, true
+				if bestSet {
+					samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: best})
 				}
 			}
-			if bestSet {
-				samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: best})
+			if len(samples) == 0 {
+				continue
 			}
+			sh.Out = append(sh.Out, TargetOutcome{
+				TargetID: id,
+				Result:   igreedy.Analyze(samples, c.Analysis),
+				VPs:      len(samples),
+			})
 		}
-		if len(samples) == 0 {
-			continue
-		}
-		rep.Outcomes[id] = TargetOutcome{
-			TargetID: id,
-			Result:   igreedy.Analyze(samples, c.Analysis),
-			VPs:      len(samples),
-		}
+	})
+	rep.ProbesSent = probes
+	for _, o := range outcomes {
+		rep.Outcomes[o.TargetID] = o
 	}
 	return rep
 }
@@ -122,45 +138,61 @@ func (o AddrSweepOutcome) Partial() bool {
 // 13 VPs over ten days; we cover a deterministic sample of offsets per
 // prefix (see EXPERIMENTS.md for the substitution note).
 func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Campaign) ([]AddrSweepOutcome, int64) {
-	var probes int64
 	targets := w.Targets(v6)
-	var out []AddrSweepOutcome
-	samples := make([]igreedy.Sample, 0, len(c.VPs))
-	for _, id := range targetIDs {
-		tg := &targets[id]
-		o := AddrSweepOutcome{TargetID: id}
-		repOff := tg.Addr.AsSlice()
-		rep := repOff[len(repOff)-1]
-		offs := offsets
-		// Always include the representative so the outcome records both
-		// views of the prefix.
-		offs = append(append([]uint8{}, offs...), rep)
-		for _, off := range offs {
-			samples = samples[:0]
-			for _, vp := range c.VPs {
-				probes++
-				rtt, _, ok := w.ProbeUnicastAddr(vp, tg, off, c.Proto, c.At, uint64(off))
-				if !ok {
+	return par.Gather(len(targetIDs), c.Parallelism, func(start, end int, sh *par.Shard[AddrSweepOutcome]) {
+		samples := make([]igreedy.Sample, 0, len(c.VPs))
+		offs := make([]uint8, 0, len(offsets)+1)
+		for _, id := range targetIDs[start:end] {
+			tg := &targets[id]
+			o := AddrSweepOutcome{TargetID: id}
+			repOff := tg.Addr.AsSlice()
+			rep := repOff[len(repOff)-1]
+			offs = dedupeOffsets(offs[:0], offsets, rep)
+			for _, off := range offs {
+				samples = samples[:0]
+				for _, vp := range c.VPs {
+					sh.Count++
+					rtt, _, ok := w.ProbeUnicastAddr(vp, tg, off, c.Proto, c.At, uint64(off))
+					if !ok {
+						continue
+					}
+					samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: rtt})
+				}
+				if len(samples) < 2 {
 					continue
 				}
-				samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: rtt})
-			}
-			if len(samples) < 2 {
-				continue
-			}
-			if igreedy.Detect(samples, c.Analysis) {
-				if off == rep {
-					o.RepresentativeAnycast = true
-				} else {
-					o.AnycastOffsets = append(o.AnycastOffsets, off)
+				if igreedy.Detect(samples, c.Analysis) {
+					if off == rep {
+						o.RepresentativeAnycast = true
+					} else {
+						o.AnycastOffsets = append(o.AnycastOffsets, off)
+					}
 				}
 			}
+			if o.RepresentativeAnycast || len(o.AnycastOffsets) > 0 {
+				sh.Out = append(sh.Out, o)
+			}
 		}
-		if o.RepresentativeAnycast || len(o.AnycastOffsets) > 0 {
-			out = append(out, o)
+	})
+}
+
+// dedupeOffsets appends to dst the distinct configured offsets plus the
+// representative's offset. The representative used to be appended blindly,
+// so a representative whose last octet collided with a configured offset
+// was probed twice from every VP, inflating the Table-4 probe-cost
+// accounting; each address is now probed exactly once per VP.
+func dedupeOffsets(dst, offsets []uint8, rep uint8) []uint8 {
+	var seen [256]bool
+	for _, off := range offsets {
+		if !seen[off] {
+			seen[off] = true
+			dst = append(dst, off)
 		}
 	}
-	return out, probes
+	if !seen[rep] {
+		dst = append(dst, rep)
+	}
+	return dst
 }
 
 // DefaultSweepOffsets returns the deterministic per-prefix address sample

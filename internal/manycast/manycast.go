@@ -19,6 +19,7 @@ import (
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/par"
 	"github.com/laces-project/laces/internal/rate"
 )
 
@@ -43,8 +44,14 @@ type Options struct {
 	MeasurementID uint16
 	// MissingWorkers marks deployment sites that are disconnected for the
 	// duration of the run (failure awareness, §4.2.3: the measurement is
-	// completed by the remaining workers).
+	// completed by the remaining workers). Only in-range true entries
+	// count; out-of-range indices and false values are ignored.
 	MissingWorkers map[int]bool
+	// Parallelism shards the target loop across this many goroutines
+	// (<= 0 means GOMAXPROCS, 1 is sequential). The result is
+	// byte-identical at every worker count: shards are contiguous hitlist
+	// ranges whose observation buffers merge back in hitlist order.
+	Parallelism int
 }
 
 // DefaultRate is the daily-census hitlist rate in targets per second.
@@ -134,46 +141,70 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 		Deployment: d.Name,
 		Protocol:   opts.Protocol,
 		Start:      opts.Start,
-		Workers:    d.NumSites() - len(opts.MissingWorkers),
+		Workers:    CountParticipants(d.NumSites(), opts.MissingWorkers),
 	}
 	entries := hl.FilterProtocol(opts.Protocol)
 	targets := w.Targets(hl.V6)
-	for i, e := range entries {
-		tg := &targets[e.TargetID]
-		var mask uint64
-		for wk := 0; wk < d.NumSites(); wk++ {
-			if opts.MissingWorkers[wk] {
-				continue
-			}
-			varying := uint64(wk + 1)
-			if opts.StaticProbes {
-				varying = 0
-			}
-			ctx := netsim.ProbeCtx{
-				At: pacer.SendTime(i, wk),
-				Flow: netsim.FlowKey{
-					Proto:          opts.Protocol,
-					StaticFlow:     uint64(opts.MeasurementID) + 1,
-					VaryingPayload: varying,
-				},
-				Gap: opts.Offset,
-				Seq: uint64(e.TargetID),
-			}
-			res.ProbesSent++
-			if del, ok := w.ProbeAnycast(d, wk, tg, ctx); ok {
-				if opts.MissingWorkers[del.WorkerIdx] {
-					// Replies routed to a dead site are lost.
+
+	// Sharded execution: contiguous hitlist ranges probed concurrently,
+	// each into its own observation buffer and probe counter. Every probe
+	// is a pure function of (seed, target, worker, schedule), so merging
+	// the buffers in shard order reproduces the sequential run exactly.
+	obs, probes := par.Gather(len(entries), opts.Parallelism, func(start, end int, sh *par.Shard[TargetObs]) {
+		for i := start; i < end; i++ {
+			e := entries[i]
+			tg := &targets[e.TargetID]
+			var mask uint64
+			for wk := 0; wk < d.NumSites(); wk++ {
+				if opts.MissingWorkers[wk] {
 					continue
 				}
-				mask |= 1 << uint(del.WorkerIdx)
+				varying := uint64(wk + 1)
+				if opts.StaticProbes {
+					varying = 0
+				}
+				ctx := netsim.ProbeCtx{
+					At: pacer.SendTime(i, wk),
+					Flow: netsim.FlowKey{
+						Proto:          opts.Protocol,
+						StaticFlow:     uint64(opts.MeasurementID) + 1,
+						VaryingPayload: varying,
+					},
+					Gap: opts.Offset,
+					Seq: uint64(e.TargetID),
+				}
+				sh.Count++
+				if del, ok := w.ProbeAnycast(d, wk, tg, ctx); ok {
+					if opts.MissingWorkers[del.WorkerIdx] {
+						// Replies routed to a dead site are lost.
+						continue
+					}
+					mask |= 1 << uint(del.WorkerIdx)
+				}
+			}
+			if mask != 0 {
+				sh.Out = append(sh.Out, TargetObs{TargetID: e.TargetID, Receivers: mask})
 			}
 		}
-		if mask != 0 {
-			res.Observations = append(res.Observations, TargetObs{TargetID: e.TargetID, Receivers: mask})
-		}
-	}
+	})
+	res.Observations, res.ProbesSent = obs, probes
 	res.Duration = pacer.Duration(len(entries), d.NumSites())
 	return res, nil
+}
+
+// CountParticipants returns the number of deployment sites taking part in
+// a measurement: numSites minus the entries of missing that are both true
+// and a valid site index. Out-of-range indices and explicit false values
+// must not reduce the count — a map carrying them previously miscounted
+// participants and fired spurious few-workers alerts.
+func CountParticipants(numSites int, missing map[int]bool) int {
+	n := numSites
+	for wk, dead := range missing {
+		if dead && wk >= 0 && wk < numSites {
+			n--
+		}
+	}
+	return n
 }
 
 // MultiProtocol runs one measurement per protocol and returns them keyed

@@ -1,0 +1,92 @@
+package manycast
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRunParallelByteIdentical: the sharded target loop must reproduce the
+// sequential observations, order included, at every worker count.
+func TestRunParallelByteIdentical(t *testing.T) {
+	d := tangled(t)
+	opts := baseOpts()
+	opts.Parallelism = 1
+	seq, err := Run(testWorld, d, testHL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 2, 3, 7, 16} {
+		opts.Parallelism = workers
+		par, err := Run(testWorld, d, testHL, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(seq.Observations, par.Observations) {
+			t.Fatalf("parallelism=%d: observations diverge from sequential run", workers)
+		}
+		if seq.ProbesSent != par.ProbesSent {
+			t.Fatalf("parallelism=%d: probes %d vs sequential %d", workers, par.ProbesSent, seq.ProbesSent)
+		}
+		if seq.Duration != par.Duration || seq.Workers != par.Workers {
+			t.Fatalf("parallelism=%d: metadata diverges", workers)
+		}
+	}
+}
+
+// TestRunParallelWithMissingWorkers covers the sharded loop interacting
+// with the failure-awareness path.
+func TestRunParallelWithMissingWorkers(t *testing.T) {
+	d := tangled(t)
+	opts := baseOpts()
+	opts.MissingWorkers = map[int]bool{2: true, 17: true}
+	opts.Parallelism = 1
+	seq, err := Run(testWorld, d, testHL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Parallelism = 8
+	par, err := Run(testWorld, d, testHL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq.Observations, par.Observations) || seq.ProbesSent != par.ProbesSent {
+		t.Fatal("parallel degraded run diverges from sequential")
+	}
+}
+
+// TestCountParticipants pins the accounting fix: only in-range true
+// entries reduce the participant count.
+func TestCountParticipants(t *testing.T) {
+	cases := []struct {
+		name    string
+		sites   int
+		missing map[int]bool
+		want    int
+	}{
+		{"nil map", 32, nil, 32},
+		{"one outage", 32, map[int]bool{4: true}, 31},
+		{"false entry ignored", 32, map[int]bool{4: false}, 32},
+		{"out of range ignored", 32, map[int]bool{32: true, -1: true, 999: true}, 32},
+		{"mixed", 32, map[int]bool{0: true, 31: true, 12: false, 50: true}, 30},
+	}
+	for _, c := range cases {
+		if got := CountParticipants(c.sites, c.missing); got != c.want {
+			t.Errorf("%s: CountParticipants(%d, %v) = %d, want %d", c.name, c.sites, c.missing, got, c.want)
+		}
+	}
+}
+
+// TestResultWorkersIgnoresBogusMissingEntries exercises the fix through
+// Run itself.
+func TestResultWorkersIgnoresBogusMissingEntries(t *testing.T) {
+	d := tangled(t)
+	opts := baseOpts()
+	opts.MissingWorkers = map[int]bool{100: true, 5: false}
+	res, err := Run(testWorld, d, testHL, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workers != d.NumSites() {
+		t.Fatalf("workers = %d, want full %d (bogus entries must not count)", res.Workers, d.NumSites())
+	}
+}

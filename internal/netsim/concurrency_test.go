@@ -1,0 +1,120 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// TestConcurrentProbesMatchSequential hammers the sharded routing caches
+// from many goroutines (run under -race) and checks every concurrent
+// delivery equals the sequentially computed one — cached catchments are
+// pure functions of their key, so racing duplicate computations must
+// write identical values.
+func TestConcurrentProbesMatchSequential(t *testing.T) {
+	d := tangled(t, testWorld, PolicyUnmodified)
+	at := DayTime(3)
+	nTargets := len(testWorld.TargetsV4)
+	if nTargets > 2000 {
+		nTargets = 2000
+	}
+	nWorkers := d.NumSites()
+
+	ctxFor := func(id, wk int) ProbeCtx {
+		return ProbeCtx{
+			At:   at.Add(time.Duration(wk) * time.Second),
+			Flow: FlowKey{Proto: packet.ICMP, StaticFlow: 1, VaryingPayload: uint64(wk + 1)},
+			Gap:  time.Second,
+			Seq:  uint64(id),
+		}
+	}
+
+	// Sequential pass on a cold cache.
+	testWorld.cache.reset()
+	type probeRes struct {
+		del Delivery
+		ok  bool
+	}
+	seq := make([]probeRes, nTargets*nWorkers)
+	for id := 0; id < nTargets; id++ {
+		tg := &testWorld.TargetsV4[id]
+		for wk := 0; wk < nWorkers; wk++ {
+			del, ok := testWorld.ProbeAnycast(d, wk, tg, ctxFor(id, wk))
+			seq[id*nWorkers+wk] = probeRes{del, ok}
+		}
+	}
+
+	// Concurrent pass on a cold cache: one goroutine per worker index, all
+	// sweeping the same targets so cache keys collide across goroutines.
+	testWorld.cache.reset()
+	conc := make([]probeRes, nTargets*nWorkers)
+	var wg sync.WaitGroup
+	wg.Add(nWorkers)
+	for wk := 0; wk < nWorkers; wk++ {
+		go func(wk int) {
+			defer wg.Done()
+			for id := 0; id < nTargets; id++ {
+				tg := &testWorld.TargetsV4[id]
+				del, ok := testWorld.ProbeAnycast(d, wk, tg, ctxFor(id, wk))
+				conc[id*nWorkers+wk] = probeRes{del, ok}
+			}
+		}(wk)
+	}
+	wg.Wait()
+
+	for i := range seq {
+		if seq[i] != conc[i] {
+			t.Fatalf("probe %d: sequential %+v vs concurrent %+v", i, seq[i], conc[i])
+		}
+	}
+}
+
+// TestConcurrentUnicastProbes covers the GCD probe path (targetSite cache)
+// under concurrency.
+func TestConcurrentUnicastProbes(t *testing.T) {
+	vp, err := testWorld.NewVP("probe-vp", "Amsterdam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := DayTime(5)
+	nTargets := len(testWorld.TargetsV4)
+	if nTargets > 2000 {
+		nTargets = 2000
+	}
+
+	testWorld.cache.reset()
+	type sample struct {
+		rtt  time.Duration
+		site int
+		ok   bool
+	}
+	seq := make([]sample, nTargets)
+	for id := 0; id < nTargets; id++ {
+		rtt, site, ok := testWorld.ProbeUnicast(vp, &testWorld.TargetsV4[id], packet.ICMP, at, 0)
+		seq[id] = sample{rtt, site, ok}
+	}
+
+	testWorld.cache.reset()
+	conc := make([]sample, nTargets)
+	const goroutines = 8
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func(g int) {
+			defer wg.Done()
+			for id := g; id < nTargets; id += goroutines {
+				rtt, site, ok := testWorld.ProbeUnicast(vp, &testWorld.TargetsV4[id], packet.ICMP, at, 0)
+				conc[id] = sample{rtt, site, ok}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for id := range seq {
+		if seq[id] != conc[id] {
+			t.Fatalf("target %d: sequential %+v vs concurrent %+v", id, seq[id], conc[id])
+		}
+	}
+}

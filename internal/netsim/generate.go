@@ -16,15 +16,14 @@ func New(cfg Config) (*World, error) {
 		return nil, fmt.Errorf("netsim: config has no targets")
 	}
 	w := &World{
-		Cfg:        cfg,
-		DB:         cities.Default(),
-		seed:       splitmix64(cfg.Seed),
-		opASNs:     make(map[ASN]bool),
-		asIdx:      make(map[ASN]int),
-		cityIdx:    make(map[string]int),
-		replyCache: make(map[replyKey]replyVal),
-		siteCache:  make(map[siteKey]uint16),
+		Cfg:     cfg,
+		DB:      cities.Default(),
+		seed:    splitmix64(cfg.Seed),
+		opASNs:  make(map[ASN]bool),
+		asIdx:   make(map[ASN]int),
+		cityIdx: make(map[string]int),
 	}
+	w.cache.init()
 	w.buildCities()
 	if err := w.genOperators(); err != nil {
 		return nil, err

@@ -671,9 +671,7 @@ func BenchmarkCatchmentCache(b *testing.B) {
 	b.Run("cold", func(b *testing.B) {
 		ctx := ProbeCtx{At: DayTime(3), Flow: FlowKey{Proto: packet.ICMP}, Gap: time.Second}
 		for i := 0; i < b.N; i++ {
-			testWorld.mu.Lock()
-			testWorld.replyCache = make(map[replyKey]replyVal)
-			testWorld.mu.Unlock()
+			testWorld.cache.resetReply()
 			testWorld.ProbeAnycast(d, i%32, tg, ctx)
 		}
 	})

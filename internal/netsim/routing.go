@@ -67,12 +67,9 @@ func extraTieFrac(p RoutingPolicy) float64 {
 // packets from (asn, fromCity) to deployment d.
 func (w *World) replyCatchment(d *Deployment, asn ASN, fromCity int) replyVal {
 	key := replyKey{salt: d.salt, asn: asn, city: int32(fromCity)}
-	w.mu.Lock()
-	if v, ok := w.replyCache[key]; ok {
-		w.mu.Unlock()
+	if v, ok := w.cache.lookupReply(key); ok {
 		return v
 	}
-	w.mu.Unlock()
 
 	amp := policyAmp(d.Policy)
 	type cs struct {
@@ -99,9 +96,7 @@ func (w *World) replyCatchment(d *Deployment, asn ASN, fromCity int) replyVal {
 		v.top[k] = uint16(best[k].idx)
 		v.n++
 	}
-	w.mu.Lock()
-	w.replyCache[key] = v
-	w.mu.Unlock()
+	w.cache.storeReply(key, v)
 	return v
 }
 
@@ -115,12 +110,9 @@ func (w *World) targetSite(tg *Target, fromCity int, v6 bool) int {
 		return 0
 	}
 	key := siteKey{tgID: int32(tg.ID), city: int32(fromCity), v6: v6}
-	w.mu.Lock()
-	if v, ok := w.siteCache[key]; ok {
-		w.mu.Unlock()
+	if v, ok := w.cache.lookupSite(key); ok {
 		return int(v)
 	}
-	w.mu.Unlock()
 
 	best, bestCost := 0, 0.0
 	for i, s := range tg.Sites {
@@ -131,9 +123,7 @@ func (w *World) targetSite(tg *Target, fromCity int, v6 bool) int {
 			best, bestCost = i, cost
 		}
 	}
-	w.mu.Lock()
-	w.siteCache[key] = uint16(best)
-	w.mu.Unlock()
+	w.cache.storeSite(key, uint16(best))
 	return best
 }
 

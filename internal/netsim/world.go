@@ -2,7 +2,6 @@ package netsim
 
 import (
 	"fmt"
-	"sync"
 	"time"
 
 	"github.com/laces-project/laces/internal/cities"
@@ -12,8 +11,11 @@ import (
 // World is the simulated Internet: ASes, targets (the hitlist universe),
 // modelled operators, BGP announcements, and a deterministic routing and
 // latency model on top. A World is immutable after New and safe for
-// concurrent use, with one exception: SetImpairer swaps the fault-injection
-// hook and must not race with in-flight probes.
+// concurrent use — the routing memoisation behind probes is sharded
+// (see cache.go), so the parallel census engine can probe from every core
+// without serialising on a global lock. The one exception remains
+// SetImpairer: it swaps the fault-injection hook and must not race with
+// in-flight probes.
 type World struct {
 	Cfg Config
 	DB  *cities.DB
@@ -36,9 +38,7 @@ type World struct {
 
 	imp Impairer
 
-	mu         sync.Mutex
-	replyCache map[replyKey]replyVal
-	siteCache  map[siteKey]uint16
+	cache routingCache
 }
 
 // ProbeImpairment is an Impairer's verdict on a single probe.

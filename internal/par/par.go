@@ -1,0 +1,103 @@
+// Package par is the deterministic sharded-execution primitive behind the
+// census pipeline's parallel engine. Every hot measurement loop (manycast
+// targets × sites, gcdmeas targets × VPs, the CHAOS census) iterates an
+// ordered input slice whose per-element work is an independent pure
+// function of the world seed — so the loop can be split into contiguous
+// index shards, run on a worker pool, and the per-shard output buffers
+// concatenated in shard order to reproduce the sequential output
+// byte-for-byte. Counters (probe-cost accounting) are summed the same way.
+//
+// The contract callers rely on:
+//
+//   - Shard s of k covers [s*n/k, (s+1)*n/k): contiguous, ordered,
+//     exhaustive and disjoint.
+//   - fn must write only shard-local state (its own output buffer and
+//     counters, indexed by the shard argument) plus data-race-free shared
+//     structures (netsim.World's routing caches are sharded for this).
+//   - The shard count is a pure function of (n, workers) via NumShards, so
+//     callers can pre-size their per-shard buffers before calling Do.
+//
+// Parallelism never changes results, only wall-clock time: the same
+// (seed, scenario) inputs produce byte-identical censuses at every worker
+// count, which is what keeps the chaos engine's determinism guarantee
+// intact under concurrency.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Workers resolves a parallelism knob to an effective worker count:
+// values <= 0 select GOMAXPROCS (all available cores), 1 is sequential.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// NumShards returns the shard count Do will use for an input of length n
+// at the given parallelism: min(Workers(workers), n), and 0 for an empty
+// input. Callers size their per-shard output buffers with it.
+func NumShards(n, workers int) int {
+	if n <= 0 {
+		return 0
+	}
+	if k := Workers(workers); k < n {
+		return k
+	}
+	return n
+}
+
+// Shard accumulates one shard's ordered output buffer and probe counter
+// during a Gather.
+type Shard[T any] struct {
+	Out   []T
+	Count int64
+}
+
+// Gather is the collect-and-merge pattern every sharded measurement loop
+// uses: fn fills its Shard with ordered output and a counter for the index
+// range [start, end); Gather concatenates the buffers in shard order and
+// sums the counters, reproducing what a sequential loop appending to one
+// buffer would produce. Keeping the determinism-critical merge here means
+// a new census stage cannot get it subtly wrong.
+func Gather[T any](n, workers int, fn func(start, end int, sh *Shard[T])) ([]T, int64) {
+	shards := make([]Shard[T], NumShards(n, workers))
+	Do(n, workers, func(shard, start, end int) {
+		fn(start, end, &shards[shard])
+	})
+	var out []T
+	var count int64
+	for i := range shards {
+		out = append(out, shards[i].Out...)
+		count += shards[i].Count
+	}
+	return out, count
+}
+
+// Do partitions the index range [0, n) into NumShards(n, workers)
+// contiguous shards and invokes fn(shard, start, end) once per shard,
+// concurrently when more than one shard exists. It returns when every
+// shard has finished. With one shard (or n <= 1) fn runs on the calling
+// goroutine, so sequential configurations pay no synchronisation cost.
+func Do(n, workers int, fn func(shard, start, end int)) {
+	k := NumShards(n, workers)
+	switch k {
+	case 0:
+		return
+	case 1:
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for s := 0; s < k; s++ {
+		go func(s int) {
+			defer wg.Done()
+			fn(s, s*n/k, (s+1)*n/k)
+		}(s)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,139 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+	for _, n := range []int{1, 2, 7, 64} {
+		if got := Workers(n); got != n {
+			t.Fatalf("Workers(%d) = %d", n, got)
+		}
+	}
+}
+
+func TestNumShards(t *testing.T) {
+	cases := []struct{ n, workers, want int }{
+		{0, 4, 0},
+		{-1, 4, 0},
+		{1, 4, 1},
+		{3, 4, 3},
+		{10, 4, 4},
+		{10, 1, 1},
+	}
+	for _, c := range cases {
+		if got := NumShards(c.n, c.workers); got != c.want {
+			t.Fatalf("NumShards(%d, %d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestDoShardContract verifies shards are contiguous, ordered, disjoint and
+// exhaustive for a spread of (n, workers) pairs.
+func TestDoShardContract(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 16, 17, 1000} {
+		for _, workers := range []int{1, 2, 3, 8, 33} {
+			k := NumShards(n, workers)
+			bounds := make([][2]int, k)
+			Do(n, workers, func(shard, start, end int) {
+				bounds[shard] = [2]int{start, end}
+			})
+			covered := 0
+			for s := 0; s < k; s++ {
+				start, end := bounds[s][0], bounds[s][1]
+				if start > end {
+					t.Fatalf("n=%d workers=%d shard %d inverted: [%d,%d)", n, workers, s, start, end)
+				}
+				if start != covered {
+					t.Fatalf("n=%d workers=%d shard %d starts at %d, want %d", n, workers, s, start, covered)
+				}
+				covered = end
+			}
+			if covered != n {
+				t.Fatalf("n=%d workers=%d covered %d", n, workers, covered)
+			}
+		}
+	}
+}
+
+// TestDoMergeOrder is the determinism contract in miniature: per-shard
+// buffers concatenated in shard order equal the sequential output.
+func TestDoMergeOrder(t *testing.T) {
+	const n = 257
+	for _, workers := range []int{1, 3, 8} {
+		k := NumShards(n, workers)
+		shards := make([][]int, k)
+		Do(n, workers, func(shard, start, end int) {
+			for i := start; i < end; i++ {
+				shards[shard] = append(shards[shard], i*i)
+			}
+		})
+		var merged []int
+		for _, sh := range shards {
+			merged = append(merged, sh...)
+		}
+		if len(merged) != n {
+			t.Fatalf("workers=%d merged %d of %d", workers, len(merged), n)
+		}
+		for i, v := range merged {
+			if v != i*i {
+				t.Fatalf("workers=%d merged[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+// TestGatherMatchesSequential: the collect-and-merge helper must equal a
+// sequential loop appending to one buffer and bumping one counter.
+func TestGatherMatchesSequential(t *testing.T) {
+	const n = 143
+	work := func(start, end int, sh *Shard[int]) {
+		for i := start; i < end; i++ {
+			sh.Count += int64(i)
+			if i%3 == 0 {
+				sh.Out = append(sh.Out, i)
+			}
+		}
+	}
+	wantOut, wantCount := Gather(n, 1, work)
+	for _, workers := range []int{0, 2, 5, 50} {
+		out, count := Gather(n, workers, work)
+		if count != wantCount {
+			t.Fatalf("workers=%d: count %d, want %d", workers, count, wantCount)
+		}
+		if len(out) != len(wantOut) {
+			t.Fatalf("workers=%d: %d outputs, want %d", workers, len(out), len(wantOut))
+		}
+		for i := range out {
+			if out[i] != wantOut[i] {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, out[i], wantOut[i])
+			}
+		}
+	}
+	if out, count := Gather[int](0, 4, work); out != nil || count != 0 {
+		t.Fatalf("empty Gather = (%v, %d), want (nil, 0)", out, count)
+	}
+}
+
+func TestDoRunsEveryIndexOnce(t *testing.T) {
+	const n = 10_000
+	var hits [n]int32
+	Do(n, 0, func(_, start, end int) {
+		for i := start; i < end; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d executed %d times", i, h)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package rate
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestLimiterConcurrentAllow: with a frozen clock the bucket never
+// refills, so across any number of racing goroutines exactly `burst`
+// Allow calls may succeed — the token-conservation invariant the census
+// worker pool relies on.
+func TestLimiterConcurrentAllow(t *testing.T) {
+	const (
+		burst      = 100
+		goroutines = 16
+		perG       = 50 // 16×50 = 800 attempts against 100 tokens
+	)
+	clk := NewFakeClock(epoch)
+	l, err := NewLimiter(1, burst, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var granted int64
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if l.Allow() {
+					atomic.AddInt64(&granted, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if granted != burst {
+		t.Fatalf("granted %d tokens, want exactly %d", granted, burst)
+	}
+	if l.Allow() {
+		t.Fatal("bucket should be empty after burst exhaustion")
+	}
+}
+
+// TestLimiterConcurrentWait: every concurrent Wait must eventually obtain
+// a token (the FakeClock turns sleeps into deterministic advances), and
+// no call may error under contention.
+func TestLimiterConcurrentWait(t *testing.T) {
+	const (
+		goroutines = 8
+		perG       = 40
+	)
+	clk := NewFakeClock(epoch)
+	l, err := NewLimiter(1000, 1, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	errs := make(chan error, goroutines*perG)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := l.Wait(ctx); err != nil {
+					errs <- err
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("concurrent Wait failed: %v", err)
+	}
+	// 320 tokens at 1000/s: the fake clock must have advanced at least the
+	// refill time for the tokens beyond the initial burst.
+	if min := 300 * time.Millisecond; clk.Now().Sub(epoch) < min {
+		t.Fatalf("clock advanced %v, want >= %v", clk.Now().Sub(epoch), min)
+	}
+}
+
+// TestLimiterMixedAllowWait races both acquisition paths (run under
+// -race; the assertions are the absence of data races plus liveness).
+func TestLimiterMixedAllowWait(t *testing.T) {
+	clk := NewFakeClock(epoch)
+	l, err := NewLimiter(500, 4, clk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	var granted int64
+	const waiters, pollers, perG = 4, 4, 25
+	wg.Add(waiters + pollers)
+	for g := 0; g < waiters; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if err := l.Wait(ctx); err == nil {
+					atomic.AddInt64(&granted, 1)
+				}
+			}
+		}()
+	}
+	for g := 0; g < pollers; g++ {
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				if l.Allow() {
+					atomic.AddInt64(&granted, 1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if granted < waiters*perG {
+		t.Fatalf("granted %d tokens, want at least the %d Wait successes", granted, waiters*perG)
+	}
+}

@@ -34,6 +34,11 @@
 // failure drills are reproducible experiments; `laces-experiments chaos`
 // scores every built-in scenario against the clean baseline.
 //
+// The pipeline's hot measurement loops run on a sharded worker pool
+// (PipelineConfig.Parallelism; default all cores) whose output is
+// byte-identical to the sequential run at every worker count — see the
+// README's "Concurrency model" section for the determinism contract.
+//
 // # Quick start
 //
 //	world, _ := laces.NewWorld(laces.TestConfig())
@@ -43,7 +48,7 @@
 //	        GCDVPs:     laces.ArkVPs(world),
 //	})
 //	census, _ := pipe.RunDaily(0, false, laces.DayOptions{})
-//	fmt.Println(len(census.G()), "GCD-confirmed anycast /24s")
+//	fmt.Println(census.CountG(), "GCD-confirmed anycast /24s")
 //
 // The examples/ directory contains runnable programs; cmd/laces is the
 // distributed measurement CLI and cmd/laces-experiments regenerates every
