@@ -7,11 +7,18 @@
 //	laces orchestrator -listen 127.0.0.1:4000
 //	laces worker -name ams01 -orchestrator 127.0.0.1:4000 [-sites 8]
 //	laces measure -orchestrator 127.0.0.1:4000 -protocol ICMP -targets 500 -out results.csv
-//	laces census  -day 100 [-v6] [-json census.json]
+//	laces census  -day 100 [-v6] [-json census.json] [-archive dir]
 //	laces igreedy -samples samples.csv
 //	laces trace -target 1.1.0.0/24 -from Tokyo
 //	laces diff day100.json day107.json
+//	laces diff -archive dir -from 100 -to 107
 //	laces dashboard day*.json
+//	laces dashboard -archive dir
+//	laces archive pack -dir dir day*.json
+//	laces archive pack -dir dir -gen 0:30
+//	laces archive verify -dir dir
+//	laces archive stats -dir dir
+//	laces replay -archive dir [-diff]
 //
 // The worker and measure subcommands probe the embedded simulated Internet
 // (all components must use the same -seed); the orchestration plane itself
@@ -33,6 +40,7 @@ import (
 
 	laces "github.com/laces-project/laces"
 	"github.com/laces-project/laces/internal/api"
+	"github.com/laces-project/laces/internal/archive"
 	"github.com/laces-project/laces/internal/client"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
@@ -71,6 +79,10 @@ func main() {
 		err = runDiff(args)
 	case "dashboard":
 		err = runDashboard(args)
+	case "archive":
+		err = runArchive(args)
+	case "replay":
+		err = runReplay(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -95,8 +107,10 @@ Subcommands:
   igreedy        analyse latency samples: detect/enumerate/geolocate anycast
   serve          expose the census and live measurements over HTTP
   trace          traceroute a hitlist prefix from a chosen vantage city
-  diff           compare two published census JSON files day-over-day
-  dashboard      render a text dashboard over census JSON snapshots
+  diff           compare two census days (JSON files or an archive)
+  dashboard      render a text dashboard over census snapshots or an archive
+  archive        pack, verify and inspect the delta-encoded census store
+  replay         stream an archived census history day by day
 
 Run 'laces <subcommand> -h' for flags.
 `)
@@ -260,6 +274,7 @@ func runCensus(args []string) error {
 	scale := fs.String("scale", "test", "world scale: test or default")
 	jsonOut := fs.String("json", "", "write census JSON to this file")
 	csvOut := fs.String("csv", "", "write census CSV to this file")
+	archiveDir := fs.String("archive", "", "append the census day to this archive")
 	fs.Parse(args)
 
 	w, err := simWorld(*seed, *scale)
@@ -310,6 +325,20 @@ func runCensus(args []string) error {
 			return err
 		}
 		fmt.Println("wrote", *csvOut)
+	}
+	if *archiveDir != "" {
+		aw, err := archive.OpenOrCreate(*archiveDir, archive.Options{})
+		if err != nil {
+			return err
+		}
+		if err := aw.Append(*day, c.Document()); err != nil {
+			aw.Close()
+			return err
+		}
+		if err := aw.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("appended day %d to archive %s\n", *day, *archiveDir)
 	}
 	return nil
 }
@@ -375,6 +404,8 @@ func runServe(args []string) error {
 	seed := fs.Uint64("seed", 1, "world seed")
 	scale := fs.String("scale", "test", "world scale: test or default")
 	day := fs.Int("day", 0, "census day served as \"today\"")
+	archiveDir := fs.String("archive", "", "serve archived days straight from this delta-encoded store")
+	cache := fs.Int("cache", api.DefaultCacheSize, "decoded-day LRU size")
 	fs.Parse(args)
 
 	w, err := simWorld(*seed, *scale)
@@ -391,7 +422,18 @@ func runServe(args []string) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("census API listening on http://%s (try /v1/census, /v1/healthz)\n", *listen)
+	srv.CacheSize = *cache
+	if *archiveDir != "" {
+		a, err := archive.Open(*archiveDir)
+		if err != nil {
+			return err
+		}
+		srv.Archive = a
+		for _, fam := range a.Families() {
+			fmt.Printf("serving archive %s: %d %s days\n", *archiveDir, len(a.Days(fam)), fam)
+		}
+	}
+	fmt.Printf("census API listening on http://%s (try /v1/census, /v1/days, /v1/range, /v1/healthz)\n", *listen)
 	server := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
 	go func() {
 		<-signalContext().Done()
@@ -421,17 +463,38 @@ func loadDocument(path string) (*core.Document, error) {
 func runDiff(args []string) error {
 	fs := flag.NewFlagSet("diff", flag.ExitOnError)
 	max := fs.Int("max", 10, "examples shown per change kind")
+	dir := fs.String("archive", "", "diff two days of this archive instead of JSON files")
+	from := fs.Int("from", -1, "older census day (with -archive)")
+	to := fs.Int("to", -1, "newer census day (with -archive)")
+	famFlag := fs.String("family", "ipv4", "address family (with -archive)")
 	fs.Parse(args)
-	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: laces diff [-max N] <old.json> <new.json>")
-	}
-	old, err := loadDocument(fs.Arg(0))
-	if err != nil {
-		return err
-	}
-	cur, err := loadDocument(fs.Arg(1))
-	if err != nil {
-		return err
+
+	var old, cur *core.Document
+	var err error
+	if *dir != "" {
+		if *from < 0 || *to < 0 {
+			return fmt.Errorf("usage: laces diff -archive <dir> -from N -to M")
+		}
+		a, err := archive.Open(*dir)
+		if err != nil {
+			return err
+		}
+		if old, err = a.Document(*famFlag, *from); err != nil {
+			return err
+		}
+		if cur, err = a.Document(*famFlag, *to); err != nil {
+			return err
+		}
+	} else {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("usage: laces diff [-max N] <old.json> <new.json> | laces diff -archive <dir> -from N -to M")
+		}
+		if old, err = loadDocument(fs.Arg(0)); err != nil {
+			return err
+		}
+		if cur, err = loadDocument(fs.Arg(1)); err != nil {
+			return err
+		}
 	}
 	if old.Family != cur.Family {
 		return fmt.Errorf("family mismatch: %s vs %s", old.Family, cur.Family)
@@ -441,9 +504,29 @@ func runDiff(args []string) error {
 
 func runDashboard(args []string) error {
 	fs := flag.NewFlagSet("dashboard", flag.ExitOnError)
+	dir := fs.String("archive", "", "render from this archive instead of JSON files")
+	famFlag := fs.String("family", "ipv4", "address family (with -archive)")
 	fs.Parse(args)
+
+	if *dir != "" {
+		// Stream the archive into the dashboard: O(1) documents in
+		// memory however long the census history is.
+		a, err := archive.Open(*dir)
+		if err != nil {
+			return err
+		}
+		b := report.NewDashboardBuilder()
+		err = a.Range(*famFlag, 0, -1, func(day int, doc *core.Document) error {
+			b.Add(doc.DeepCopy())
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		return b.Render(os.Stdout)
+	}
 	if fs.NArg() == 0 {
-		return fmt.Errorf("usage: laces dashboard <census.json> [more.json ...]")
+		return fmt.Errorf("usage: laces dashboard <census.json> [more.json ...] | laces dashboard -archive <dir>")
 	}
 	var docs []*core.Document
 	for _, path := range fs.Args() {
@@ -454,6 +537,173 @@ func runDashboard(args []string) error {
 		docs = append(docs, doc)
 	}
 	return report.Dashboard(os.Stdout, docs)
+}
+
+// runArchive dispatches the archive tooling: pack, verify, stats.
+func runArchive(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: laces archive <pack|verify|stats> ...")
+	}
+	switch args[0] {
+	case "pack":
+		return runArchivePack(args[1:])
+	case "verify":
+		return runArchiveVerify(args[1:])
+	case "stats":
+		return runArchiveStats(args[1:])
+	default:
+		return fmt.Errorf("laces archive: unknown subcommand %q (pack, verify, stats)", args[0])
+	}
+}
+
+// runArchivePack appends census days to an archive — either existing
+// published JSON files (positional args, packed in day order as given)
+// or freshly generated pipeline runs (-gen from:to).
+func runArchivePack(args []string) error {
+	fs := flag.NewFlagSet("archive pack", flag.ExitOnError)
+	dir := fs.String("dir", "", "archive directory (required)")
+	every := fs.Int("snapshot-every", archive.DefaultSnapshotEvery, "full-snapshot cadence K")
+	gen := fs.String("gen", "", "generate days by running the pipeline, e.g. 0:30")
+	stride := fs.Int("stride", 1, "day stride with -gen")
+	v6 := fs.Bool("v6", false, "IPv6 census with -gen")
+	seed := fs.Uint64("seed", 1, "world seed with -gen")
+	scale := fs.String("scale", "test", "world scale with -gen: test or default")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("usage: laces archive pack -dir <dir> [day.json ...] | -gen from:to")
+	}
+	w, err := archive.OpenOrCreate(*dir, archive.Options{SnapshotEvery: *every})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+
+	if *gen != "" {
+		var from, to int
+		if _, err := fmt.Sscanf(*gen, "%d:%d", &from, &to); err != nil || to < from {
+			return fmt.Errorf("laces archive pack: -gen wants from:to, got %q", *gen)
+		}
+		world, err := simWorld(*seed, *scale)
+		if err != nil {
+			return err
+		}
+		dep, err := laces.Tangled(world)
+		if err != nil {
+			return err
+		}
+		pipe, err := laces.NewPipeline(world, laces.PipelineConfig{
+			Deployment: dep,
+			GCDVPs:     laces.ArkVPs(world),
+		})
+		if err != nil {
+			return err
+		}
+		for day := from; day <= to; day += *stride {
+			c, err := pipe.RunDaily(day, *v6, laces.DayOptions{})
+			if err != nil {
+				return err
+			}
+			if err := w.Append(day, c.Document()); err != nil {
+				return err
+			}
+			fmt.Printf("packed day %d (%s)\n", day, c.Day.Format(time.DateOnly))
+		}
+		return nil
+	}
+
+	if fs.NArg() == 0 {
+		return fmt.Errorf("laces archive pack: nothing to pack (JSON files or -gen)")
+	}
+	for _, path := range fs.Args() {
+		doc, err := loadDocument(path)
+		if err != nil {
+			return err
+		}
+		// Files pack as consecutive days in the order given, continuing
+		// the family's existing chain when appending to a live archive.
+		day := 0
+		if last, ok := w.LastDay(doc.Family); ok {
+			day = last + 1
+		}
+		if err := w.Append(day, doc); err != nil {
+			return err
+		}
+		fmt.Printf("packed %s as day %d (%s)\n", path, day, doc.Date)
+	}
+	return nil
+}
+
+func runArchiveVerify(args []string) error {
+	fs := flag.NewFlagSet("archive verify", flag.ExitOnError)
+	dir := fs.String("dir", "", "archive directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("usage: laces archive verify -dir <dir>")
+	}
+	a, err := archive.Open(*dir)
+	if err != nil {
+		return err
+	}
+	res, err := a.Verify()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("archive OK: %d days reproduce their published bytes exactly\n", res.Days)
+	return nil
+}
+
+func runArchiveStats(args []string) error {
+	fs := flag.NewFlagSet("archive stats", flag.ExitOnError)
+	dir := fs.String("dir", "", "archive directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("usage: laces archive stats -dir <dir>")
+	}
+	a, err := archive.Open(*dir)
+	if err != nil {
+		return err
+	}
+	for _, st := range a.Stats() {
+		fmt.Printf("%s: %d days (%d snapshots + %d deltas), %d bytes stored vs %d bytes as per-day full JSON (%.0f%%)\n",
+			st.Family, st.Days, st.Snapshots, st.Deltas,
+			st.StoredBytes, st.FullBytes, 100*st.Ratio())
+	}
+	return nil
+}
+
+// runReplay streams an archived census history day by day: one summary
+// line per day, optionally with the day-over-day diff.
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	dir := fs.String("archive", "", "archive directory (required)")
+	famFlag := fs.String("family", "ipv4", "address family")
+	from := fs.Int("from", 0, "first day")
+	to := fs.Int("to", -1, "last day (-1: through the end)")
+	diff := fs.Bool("diff", false, "print the day-over-day diff under each day")
+	max := fs.Int("max", 3, "diff examples per change kind (with -diff)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("usage: laces replay -archive <dir> [-family ipv4] [-from N] [-to M] [-diff]")
+	}
+	a, err := archive.Open(*dir)
+	if err != nil {
+		return err
+	}
+	var prev *core.Document
+	err = a.Range(*famFlag, *from, *to, func(day int, doc *core.Document) error {
+		fmt.Printf("day %4d  %s  G=%-6d M=%-6d entries=%-6d probes=%d\n",
+			day, doc.Date, doc.GCount, doc.MCount, len(doc.Entries), doc.ProbesTotal())
+		if *diff && prev != nil {
+			if err := report.Diff(prev, doc).Render(os.Stdout, *max); err != nil {
+				return err
+			}
+		}
+		if *diff {
+			prev = doc.DeepCopy() // Range owns doc beyond the callback
+		}
+		return nil
+	})
+	return err
 }
 
 func runTrace(args []string) error {

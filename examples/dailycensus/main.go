@@ -1,13 +1,15 @@
 // Dailycensus: a compressed longitudinal census (§7) — 534 simulated days
 // sampled every 14 days, with the paper's operational events injected (the
 // Sep–Dec 2024 DNS tooling bug, pre-fix worker disconnections, periodic
-// GCD_LS feedback reruns). Prints the Fig 9-style series and the Fig 10
-// persistence summary.
+// GCD_LS feedback reruns). Every finished day streams into the
+// delta-encoded census archive (the §4.4 public repository); the program
+// prints the Fig 9-style series and the Fig 10 persistence summary.
 package main
 
 import (
 	"fmt"
 	"log"
+	"os"
 	"time"
 
 	laces "github.com/laces-project/laces"
@@ -19,13 +21,33 @@ func main() {
 		log.Fatal(err)
 	}
 
-	start := time.Now()
-	history, err := laces.RunLongitudinal(world, 534, 14)
+	dir, err := os.MkdirTemp("", "laces-census-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("longitudinal census: %d runs across 534 days in %.1fs\n\n",
+	defer os.RemoveAll(dir)
+	sink, err := laces.CreateArchive(dir, laces.CensusArchiveOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	history, err := laces.RunLongitudinalInto(world, 534, 14, sink)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("longitudinal census: %d runs across 534 days in %.1fs\n",
 		len(history.Summaries(false)), time.Since(start).Seconds())
+	if a, err := laces.OpenArchive(dir); err == nil {
+		for _, st := range a.Stats() {
+			fmt.Printf("archived %s: %d days, %.0f%% of full-JSON size\n",
+				st.Family, st.Days, 100*st.Ratio())
+		}
+	}
+	fmt.Println()
 
 	fmt.Println("day  hitlist  AC(ICMP)  AC(TCP)  AC(DNS)  G    M    workers  alerts")
 	for _, s := range history.Summaries(false) {

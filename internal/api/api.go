@@ -4,10 +4,17 @@
 // live measurements of individual prefixes: an anycast-based probe round
 // plus a GCD confirmation, returning both classifications independently
 // (R1's confidence-through-independence, applied to a single prefix).
+//
+// Published days are served straight from the longitudinal archive when
+// one is attached (Server.Archive): decoding from the delta store is
+// orders of magnitude cheaper than re-running the pipeline, and a bounded
+// LRU of decoded days replaces the old unbounded census map, so serving
+// a 500-day archive no longer means holding 500 censuses in memory.
 package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/netip"
@@ -15,6 +22,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/laces-project/laces/internal/archive"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/gcdmeas"
 	"github.com/laces-project/laces/internal/hitlist"
@@ -23,6 +31,10 @@ import (
 	"github.com/laces-project/laces/internal/packet"
 )
 
+// DefaultCacheSize bounds the server's decoded-day LRU (the same bound
+// governs the attached archive's internal cache).
+const DefaultCacheSize = archive.DefaultCacheSize
+
 // Server exposes census data and live measurements over HTTP.
 type Server struct {
 	World      *netsim.World
@@ -30,16 +42,31 @@ type Server struct {
 	GCDVPs     func(day int, v6 bool) ([]netsim.VP, error)
 	// Clock returns the "current" census day for live measurements.
 	Clock func() int
+	// Archive, when set, serves archived days directly from the
+	// delta-encoded store; days not in the archive fall back to running
+	// the pipeline. Set before the first request.
+	Archive *archive.Archive
+	// CacheSize bounds the decoded-day LRU (default DefaultCacheSize).
+	// Set before the first request.
+	CacheSize int
 
 	mu       sync.Mutex
 	pipeline *core.Pipeline
-	censuses map[censusKey]*core.DailyCensus
-	byPrefix map[censusKey]map[netip.Prefix]int
+	// cache is the bounded decoded-day LRU, sized on first use so
+	// CacheSize can be set any time before the first request.
+	cache *archive.LRU[censusKey, *cachedDay]
 }
 
 type censusKey struct {
 	day int
 	v6  bool
+}
+
+// cachedDay is one decoded census day: the published document plus a
+// prefix index over its entries.
+type cachedDay struct {
+	doc *core.Document
+	idx map[string]int // prefix string → entry position
 }
 
 // NewServer validates dependencies and returns a Server.
@@ -60,8 +87,6 @@ func NewServer(w *netsim.World, d *netsim.Deployment, gcdVPs func(int, bool) ([]
 		GCDVPs:     gcdVPs,
 		Clock:      clock,
 		pipeline:   p,
-		censuses:   make(map[censusKey]*core.DailyCensus),
-		byPrefix:   make(map[censusKey]map[netip.Prefix]int),
 	}, nil
 }
 
@@ -69,6 +94,8 @@ func NewServer(w *netsim.World, d *netsim.Deployment, gcdVPs func(int, bool) ([]
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/census", s.handleCensus)
+	mux.HandleFunc("GET /v1/days", s.handleDays)
+	mux.HandleFunc("GET /v1/range", s.handleRange)
 	mux.HandleFunc("GET /v1/prefix/{prefix...}", s.handlePrefix)
 	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -77,25 +104,133 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// census returns (building and caching on demand) the census for a day.
-func (s *Server) census(day int, v6 bool) (*core.DailyCensus, map[netip.Prefix]int, error) {
+func family(v6 bool) string {
+	if v6 {
+		return "ipv6"
+	}
+	return "ipv4"
+}
+
+// census returns the published document for a day — from the archive
+// when it carries the day, otherwise by running the pipeline — through a
+// bounded LRU of decoded days.
+func (s *Server) census(day int, v6 bool) (*cachedDay, error) {
 	key := censusKey{day, v6}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if c, ok := s.censuses[key]; ok {
-		return c, s.byPrefix[key], nil
+	if s.cache == nil {
+		bound := s.CacheSize
+		if bound <= 0 {
+			bound = DefaultCacheSize
+		}
+		s.cache = archive.NewLRU[censusKey, *cachedDay](bound)
+		if s.Archive != nil {
+			// Keep the archive's internal decoded-day cache on the same
+			// bound, so "-cache N" governs both layers.
+			s.Archive.SetCacheSize(bound)
+		}
 	}
-	c, err := s.pipeline.RunDaily(day, v6, core.DayOptions{})
+	if cd, ok := s.cache.Get(key); ok {
+		return cd, nil
+	}
+	var doc *core.Document
+	if s.Archive != nil {
+		d, err := s.Archive.Document(family(v6), day)
+		switch {
+		case err == nil:
+			doc = d
+		case errors.Is(err, archive.ErrNotFound):
+			// Not archived: fall through to the live pipeline.
+		default:
+			// The archive carries the day but cannot decode it —
+			// surfacing the failure beats silently serving a freshly
+			// recomputed census that may differ from the published one.
+			return nil, err
+		}
+	}
+	if doc == nil {
+		c, err := s.pipeline.RunDaily(day, v6, core.DayOptions{})
+		if err != nil {
+			return nil, err
+		}
+		doc = c.Document()
+	}
+	cd := &cachedDay{doc: doc, idx: make(map[string]int, len(doc.Entries))}
+	for i := range doc.Entries {
+		cd.idx[doc.Entries[i].Prefix] = i
+	}
+	s.cache.Put(key, cd)
+	return cd, nil
+}
+
+// CachedDays reports the decoded-day LRU's current size (for tests and
+// monitoring).
+func (s *Server) CachedDays() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cache == nil {
+		return 0
+	}
+	return s.cache.Len()
+}
+
+// handleDays lists the archived census days for a family.
+func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
+	if s.Archive == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no archive attached to this server"))
+		return
+	}
+	_, v6, err := s.parseDayFamily(r)
 	if err != nil {
-		return nil, nil, err
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	}
-	idx := make(map[netip.Prefix]int, len(c.Entries))
-	for id, e := range c.Entries {
-		idx[e.Prefix] = id
+	writeJSON(w, http.StatusOK, map[string]any{
+		"family": family(v6),
+		"days":   s.Archive.Days(family(v6)),
+	})
+}
+
+// handleRange streams a span of archived days as NDJSON, one compact
+// census document per line, decoded incrementally from the delta store —
+// O(1) documents in memory no matter how long the span.
+func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
+	if s.Archive == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no archive attached to this server"))
+		return
 	}
-	s.censuses[key] = c
-	s.byPrefix[key] = idx
-	return c, idx, nil
+	_, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	from, to := 0, -1
+	if v := r.URL.Query().Get("from"); v != "" {
+		if from, err = strconv.Atoi(v); err != nil || from < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid from %q", v))
+			return
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if to, err = strconv.Atoi(v); err != nil || to < from {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid to %q", v))
+			return
+		}
+	}
+	if len(s.Archive.Days(family(v6))) == 0 {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no %s days archived", family(v6)))
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	if err := s.Archive.Range(family(v6), from, to, func(day int, doc *core.Document) error {
+		return enc.Encode(doc)
+	}); err != nil {
+		// Headers are sent; abort the connection so the client sees a
+		// broken stream instead of a clean EOF on truncated data.
+		panic(http.ErrAbortHandler)
+	}
 }
 
 // parseDayFamily extracts ?day= and ?family= query parameters.
@@ -119,21 +254,22 @@ func (s *Server) parseDayFamily(r *http.Request) (int, bool, error) {
 	return day, v6, nil
 }
 
-// handleCensus serves the full daily census document.
+// handleCensus serves the full daily census document in its canonical
+// published byte form.
 func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
 	day, v6, err := s.parseDayFamily(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	c, _, err := s.census(day, v6)
+	cd, err := s.census(day, v6)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(http.StatusOK)
-	if err := c.WriteJSON(w); err != nil {
+	if err := cd.doc.WriteJSON(w); err != nil {
 		// Headers already sent; nothing more to do.
 		return
 	}
@@ -150,7 +286,11 @@ type prefixView struct {
 	GCDCities    []string `json:"gcd_cities,omitempty"`
 }
 
-// handlePrefix serves a single census row.
+// handlePrefix serves a single census row from the *published* census:
+// in_census means the prefix is in the day's published document (an
+// anycast finding, §4.4), the same view the archive carries. Prefixes
+// that were measured but not published (e.g. feedback targets GCD-judged
+// unicast) report in_census=false; use /v1/measure for a live verdict.
 func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 	day, v6, err := s.parseDayFamily(r)
 	if err != nil {
@@ -162,16 +302,16 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
 		return
 	}
-	c, idx, err := s.census(day, v6)
+	cd, err := s.census(day, v6)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
 	view := prefixView{Prefix: prefix.String(), Day: day}
-	if id, ok := idx[prefix]; ok {
-		e := c.Entries[id]
+	if i, ok := cd.idx[prefix.String()]; ok {
+		e := &cd.doc.Entries[i]
 		view.InCensus = true
-		view.AnycastBased = e.IsCandidate()
+		view.AnycastBased = len(e.ACProtocols) > 0
 		view.GCDAnycast = e.GCDAnycast
 		view.GCDSites = e.GCDSites
 		view.GCDCities = e.GCDCities

@@ -1,12 +1,17 @@
 package api
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 
+	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/platform"
@@ -199,5 +204,144 @@ func TestLiveMeasurementValidation(t *testing.T) {
 func TestNewServerValidation(t *testing.T) {
 	if _, err := NewServer(nil, nil, nil, nil); err == nil {
 		t.Fatal("nil dependencies accepted")
+	}
+}
+
+// archiveServer builds a server backed by a 6-day packed archive.
+func archiveServer(t *testing.T) (*Server, *httptest.Server, [][]byte) {
+	t.Helper()
+	d, err := platform.Tangled(testWorld, netsim.PolicyUnmodified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := core.NewPipeline(testWorld, core.Config{
+		Deployment: d,
+		GCDVPs:     func(day int, v6 bool) ([]netsim.VP, error) { return platform.Ark(testWorld, day, v6) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	aw, err := archive.Create(dir, archive.Options{SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want [][]byte
+	for day := 0; day < 6; day++ {
+		c, err := pipe.RunDaily(day, false, core.DayOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := c.Document()
+		var buf bytes.Buffer
+		if err := doc.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, buf.Bytes())
+		if err := aw.Append(day, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewServer(testWorld, d,
+		func(day int, v6 bool) ([]netsim.VP, error) { return platform.Ark(testWorld, day, v6) },
+		func() int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Archive = a
+	s.CacheSize = 2
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts, want
+}
+
+// TestCensusServedFromArchive proves archived days come back
+// byte-identical to the published WriteJSON form, without re-running the
+// pipeline, and that the decoded-day cache stays bounded.
+func TestCensusServedFromArchive(t *testing.T) {
+	s, ts, want := archiveServer(t)
+	for _, day := range []int{5, 0, 3, 1, 4, 2, 5} {
+		resp, err := http.Get(ts.URL + "/v1/census?day=" + strconv.Itoa(day))
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("day %d: status %d", day, resp.StatusCode)
+		}
+		if !bytes.Equal(body, want[day]) {
+			t.Fatalf("day %d: served census is not byte-identical to the archive's canonical form", day)
+		}
+	}
+	if n := s.CachedDays(); n > 2 {
+		t.Fatalf("decoded-day LRU holds %d days, bound is 2", n)
+	}
+}
+
+func TestDaysEndpoint(t *testing.T) {
+	_, ts, _ := archiveServer(t)
+	resp, err := http.Get(ts.URL + "/v1/days")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Family string `json:"family"`
+		Days   []int  `json:"days"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Family != "ipv4" || len(doc.Days) != 6 {
+		t.Fatalf("days endpoint: %+v", doc)
+	}
+}
+
+func TestRangeEndpointStreamsNDJSON(t *testing.T) {
+	_, ts, _ := archiveServer(t)
+	resp, err := http.Get(ts.URL + "/v1/range?from=1&to=4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	dec := json.NewDecoder(resp.Body)
+	days := 0
+	for dec.More() {
+		var doc core.Document
+		if err := dec.Decode(&doc); err != nil {
+			t.Fatal(err)
+		}
+		if doc.Family != "ipv4" || len(doc.Entries) == 0 {
+			t.Fatalf("range document degenerate: %s %s", doc.Family, doc.Date)
+		}
+		days++
+	}
+	if days != 4 {
+		t.Fatalf("range streamed %d days, want 4", days)
+	}
+}
+
+func TestRangeRequiresArchive(t *testing.T) {
+	resp, err := http.Get(testServer.URL + "/v1/range")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("range without archive: status %d", resp.StatusCode)
 	}
 }

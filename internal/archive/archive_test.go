@@ -1,0 +1,460 @@
+package archive
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/laces-project/laces/internal/core"
+)
+
+// synthDoc builds a deterministic synthetic census document; evolve
+// derives the next day with realistic churn (most prefixes persist —
+// the Fig 10 redundancy the delta encoding exploits).
+func synthDoc(entries int) *core.Document {
+	d := &core.Document{
+		Date:               "2024-03-21",
+		Family:             "ipv4",
+		HitlistSize:        entries * 3,
+		Workers:            32,
+		ProbesAnycastStage: int64(entries) * 96,
+		ProbesGCDStage:     int64(entries) * 7,
+	}
+	for i := 0; i < entries; i++ {
+		e := core.DocumentEntry{
+			Prefix:    prefixFor(i),
+			OriginASN: uint32(64500 + i%200),
+		}
+		if i%3 == 0 {
+			e.ACProtocols = []string{"ICMP", "TCP"}
+			e.MaxReceivers = 2 + i%7
+			e.GCDMeasured = true
+			e.GCDAnycast = true
+			e.GCDSites = 2 + i%9
+			e.GCDCities = []string{"Amsterdam", "Tokyo"}
+			e.GCDVPs = 40
+			d.GCount++
+		} else {
+			e.ACProtocols = []string{"DNS"}
+			e.MaxReceivers = 2
+			e.GCDMeasured = true
+			d.MCount++
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	sortCanonical(d)
+	return d
+}
+
+func prefixFor(i int) string {
+	bases := []string{"2", "10", "100", "192", "23", "8", "77"}
+	return bases[i%len(bases)] + "." + itoa((i/7)%250) + "." + itoa(i%250) + ".0/24"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [4]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+func sortCanonical(d *core.Document) {
+	es := d.Entries
+	for i := 1; i < len(es); i++ {
+		for j := i; j > 0 && core.ComparePrefixStrings(es[j].Prefix, es[j-1].Prefix) < 0; j-- {
+			es[j], es[j-1] = es[j-1], es[j]
+		}
+	}
+}
+
+func evolve(d *core.Document, day int) *core.Document {
+	out := d.DeepCopy()
+	out.Date = "2024-03-" + itoa(22+day%8)
+	out.ProbesAnycastStage += int64(day)
+	kept := out.Entries[:0]
+	out.GCount, out.MCount = 0, 0
+	for i := range out.Entries {
+		e := out.Entries[i]
+		if (i+day)%37 == 0 {
+			continue // ~3% churn out
+		}
+		if (i+day)%13 == 0 && e.GCDAnycast {
+			e.GCDSites++
+		}
+		if e.GCDAnycast {
+			out.GCount++
+		} else {
+			out.MCount++
+		}
+		kept = append(kept, e)
+	}
+	out.Entries = kept
+	out.Entries = append(out.Entries, core.DocumentEntry{
+		Prefix:      "203." + itoa(day%200) + ".0.0/24",
+		OriginASN:   65000,
+		ACProtocols: []string{"ICMP"},
+		GCDMeasured: true,
+		GCDAnycast:  true,
+		GCDSites:    2,
+		GCDCities:   []string{"London"},
+	})
+	out.GCount++
+	sortCanonical(out)
+	return out
+}
+
+// chain produces days of evolving documents starting from a seed doc.
+func chain(days, entries int) []*core.Document {
+	out := make([]*core.Document, 0, days)
+	d := synthDoc(entries)
+	for i := 0; i < days; i++ {
+		out = append(out, d)
+		d = evolve(d, i+1)
+	}
+	return out
+}
+
+func canonicalBytes(t testing.TB, d *core.Document) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := d.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// packChain archives docs as days 0..n-1 in dir.
+func packChain(t testing.TB, dir string, docs []*core.Document, k int) {
+	t.Helper()
+	w, err := Create(dir, Options{SnapshotEvery: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range docs {
+		if err := w.Append(i, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPackUnpackLossless is the core contract on synthetic data: every
+// unpacked day reproduces its canonical bytes, by random access and by
+// streaming Range.
+func TestPackUnpackLossless(t *testing.T) {
+	docs := chain(23, 120)
+	want := make([][]byte, len(docs))
+	for i, d := range docs {
+		want[i] = canonicalBytes(t, d)
+	}
+	dir := t.TempDir()
+	packChain(t, dir, docs, 7)
+
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Random access, deliberately out of order to exercise the LRU.
+	for _, day := range []int{22, 0, 13, 13, 7, 21, 1} {
+		doc, err := a.Document("ipv4", day)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canonicalBytes(t, doc), want[day]) {
+			t.Fatalf("day %d: random access did not reproduce canonical bytes", day)
+		}
+	}
+	// Streaming range.
+	seen := 0
+	err = a.Range("ipv4", 0, -1, func(day int, doc *core.Document) error {
+		if !bytes.Equal(canonicalBytes(t, doc), want[day]) {
+			t.Fatalf("day %d: range did not reproduce canonical bytes", day)
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != len(docs) {
+		t.Fatalf("range visited %d of %d days", seen, len(docs))
+	}
+	if res, err := a.Verify(); err != nil || res.Days != len(docs) {
+		t.Fatalf("verify: %v (%+v)", err, res)
+	}
+}
+
+// TestArchiveSmallerThanFullJSON pins the efficiency claim on a
+// 100+ day run: the delta-encoded store must be well under the size of
+// per-day full JSON.
+func TestArchiveSmallerThanFullJSON(t *testing.T) {
+	docs := chain(120, 150)
+	dir := t.TempDir()
+	packChain(t, dir, docs, 7)
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := a.Stats()
+	if len(st) != 1 || st[0].Days != 120 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st[0].Snapshots == 0 || st[0].Deltas == 0 {
+		t.Fatalf("cadence degenerate: %+v", st[0])
+	}
+	if r := st[0].Ratio(); r > 0.5 {
+		t.Fatalf("archive is %.0f%% of full JSON; want well under 50%% on persistent censuses", 100*r)
+	}
+}
+
+// TestOpenWriterResume appends across writer restarts and keeps the
+// delta chain intact.
+func TestOpenWriterResume(t *testing.T) {
+	docs := chain(11, 80)
+	dir := t.TempDir()
+	packChain(t, dir, docs[:5], 4)
+
+	w, err := OpenWriter(dir, Options{SnapshotEvery: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 5; i < len(docs); i++ {
+		if err := w.Append(i, docs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := a.Verify(); err != nil || res.Days != len(docs) {
+		t.Fatalf("verify after resume: %v (%+v)", err, res)
+	}
+	for i, d := range docs {
+		got, err := a.Document("ipv4", i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(canonicalBytes(t, got), canonicalBytes(t, d)) {
+			t.Fatalf("day %d diverged across writer restart", i)
+		}
+	}
+}
+
+// TestAppendOnly rejects out-of-order days and double-create.
+func TestAppendOnly(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := synthDoc(10)
+	if err := w.Append(5, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(5, evolve(d, 1)); err == nil {
+		t.Fatal("duplicate day accepted")
+	}
+	if err := w.Append(3, evolve(d, 1)); err == nil {
+		t.Fatal("backwards day accepted")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Create(dir, Options{}); err == nil {
+		t.Fatal("Create over a live archive accepted")
+	}
+}
+
+// TestAppendRejectsNonCanonicalOrder: a delta day whose base document
+// carries entries in non-canonical (e.g. lexicographic) order cannot
+// survive delta encoding — Append must refuse it BEFORE committing the
+// index record, instead of wedging the append-only store with a day that
+// can never be reconstructed.
+func TestAppendRejectsNonCanonicalOrder(t *testing.T) {
+	lexDoc := func(date string, prefixes ...string) *core.Document {
+		d := &core.Document{Date: date, Family: "ipv4"}
+		for _, p := range prefixes {
+			d.Entries = append(d.Entries, core.DocumentEntry{
+				Prefix: p, ACProtocols: []string{"ICMP"}, GCDAnycast: true, GCDSites: 2,
+			})
+			d.GCount++
+		}
+		return d
+	}
+	dir := t.TempDir()
+	w, err := Create(dir, Options{SnapshotEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lexicographic order, as the pre-fix census published it.
+	if err := w.Append(0, lexDoc("2024-03-21", "10.0.0.0/24", "2.0.0.0/24", "3.0.0.0/24")); err != nil {
+		t.Fatal(err) // snapshots store their own bytes; any order round-trips
+	}
+	// Day 1 adds a prefix whose canonical position differs from its
+	// lexicographic one — the delta cannot reproduce this document.
+	err = w.Append(1, lexDoc("2024-03-22", "10.0.0.0/24", "2.0.0.0/24", "25.0.0.0/24", "3.0.0.0/24"))
+	if err == nil {
+		t.Fatal("Append committed a delta day that cannot be reconstructed")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The refused day must leave no trace: the archive still verifies and
+	// the orphan file (if any) is gone.
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := a.Verify(); err != nil || res.Days != 1 {
+		t.Fatalf("verify after refused append: %v (%+v)", err, res)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ipv4-000001.delta.json")); !os.IsNotExist(err) {
+		t.Fatalf("refused append left a day file behind (stat err %v)", err)
+	}
+}
+
+// TestOrphanDayFileRecovered simulates an append that died between
+// writing the day file and the index line: the orphan must not wedge the
+// archive — re-appending the day overwrites it.
+func TestOrphanDayFileRecovered(t *testing.T) {
+	docs := chain(4, 30)
+	dir := t.TempDir()
+	packChain(t, dir, docs[:3], 7)
+
+	// Forge the orphan the crash would leave behind.
+	orphan := filepath.Join(dir, "ipv4-000003.delta.json")
+	if err := os.WriteFile(orphan, []byte("{\"header\":{}}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err := OpenWriter(dir, Options{SnapshotEvery: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(3, docs[3]); err != nil {
+		t.Fatalf("orphan day file wedged the archive: %v", err)
+	}
+	if last, ok := w.LastDay("ipv4"); !ok || last != 3 {
+		t.Fatalf("LastDay = %d/%v", last, ok)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := a.Verify(); err != nil || res.Days != 4 {
+		t.Fatalf("verify after orphan recovery: %v (%+v)", err, res)
+	}
+}
+
+// TestBothFamilies interleaves ipv4 and ipv6 chains in one archive.
+func TestBothFamilies(t *testing.T) {
+	dir := t.TempDir()
+	w, err := Create(dir, Options{SnapshotEvery: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v4 := chain(5, 40)
+	v6 := chain(5, 25)
+	for i := range v4 {
+		v6[i].Family = "ipv6"
+		if err := w.Append(i, v4[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Append(i, v6[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fams := a.Families()
+	if len(fams) != 2 || fams[0] != "ipv4" || fams[1] != "ipv6" {
+		t.Fatalf("families: %v", fams)
+	}
+	if res, err := a.Verify(); err != nil || res.Days != 10 {
+		t.Fatalf("verify: %v (%+v)", err, res)
+	}
+}
+
+// TestVerifyDetectsCorruption flips a byte in a delta file and expects
+// Verify to fail.
+func TestVerifyDetectsCorruption(t *testing.T) {
+	docs := chain(9, 60)
+	dir := t.TempDir()
+	packChain(t, dir, docs, 4)
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, ok := a.Record("ipv4", 2) // a delta day (snapshots at 0, 4, 8)
+	if !ok || rec.Kind != KindDelta {
+		t.Fatalf("day 2 record: %+v", rec)
+	}
+	path := filepath.Join(dir, rec.File)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a site count inside the payload (keeping valid JSON).
+	idx := bytes.Index(b, []byte(`"gcd_sites":`))
+	if idx < 0 {
+		t.Skip("no gcd_sites in this delta")
+	}
+	pos := idx + len(`"gcd_sites":`)
+	if b[pos] == '9' {
+		b[pos] = '8'
+	} else {
+		b[pos] = '9'
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a2.Verify(); err == nil {
+		t.Fatal("verify accepted a corrupted delta")
+	}
+}
+
+// TestLRUBounded pins the decoded-day cache bound.
+func TestLRUBounded(t *testing.T) {
+	docs := chain(20, 30)
+	dir := t.TempDir()
+	packChain(t, dir, docs, 5)
+	a, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.SetCacheSize(3)
+	for day := 0; day < 20; day++ {
+		if _, err := a.Document("ipv4", day); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := a.CachedDays(); n > 3 {
+		t.Fatalf("LRU holds %d decoded days, bound is 3", n)
+	}
+}

@@ -1,0 +1,148 @@
+package archive
+
+// Benchmarks for the acceptance bar of the archive layer: on a ≥100-day
+// run with realistic day-over-day persistence, the delta-encoded store
+// must be measurably smaller and faster to decode than per-day full
+// JSON. BenchmarkArchivePack / BenchmarkArchiveDecodeRange vs
+// BenchmarkFullJSONDecode; bytes_per_day metrics carry the size story.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/laces-project/laces/internal/core"
+)
+
+const (
+	benchDays    = 120
+	benchEntries = 400
+)
+
+var (
+	benchOnce  sync.Once
+	benchDocs  []*core.Document
+	benchFull  [][]byte // canonical per-day JSON
+	benchBytes int64
+)
+
+func benchChain(b *testing.B) ([]*core.Document, [][]byte) {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchDocs = chain(benchDays, benchEntries)
+		for _, d := range benchDocs {
+			var buf bytes.Buffer
+			if err := d.WriteJSON(&buf); err != nil {
+				panic(err)
+			}
+			benchFull = append(benchFull, buf.Bytes())
+			benchBytes += int64(buf.Len())
+		}
+	})
+	return benchDocs, benchFull
+}
+
+// BenchmarkArchivePack times packing a 120-day census run into the
+// delta-encoded store and reports the size ratio against full JSON.
+func BenchmarkArchivePack(b *testing.B) {
+	docs, _ := benchChain(b)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dir := b.TempDir()
+		w, err := Create(dir, Options{SnapshotEvery: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for day, d := range docs {
+			if err := w.Append(day, d); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			a, err := Open(dir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			st := a.Stats()[0]
+			b.ReportMetric(float64(st.StoredBytes)/float64(benchDays), "archive_bytes/day")
+			b.ReportMetric(float64(st.FullBytes)/float64(benchDays), "fulljson_bytes/day")
+			b.ReportMetric(st.Ratio(), "size_ratio")
+		}
+	}
+}
+
+// BenchmarkArchiveDecodeRange times streaming every day of the packed
+// archive back out (snapshot parse + delta application).
+func BenchmarkArchiveDecodeRange(b *testing.B) {
+	docs, _ := benchChain(b)
+	dir := b.TempDir()
+	w, err := Create(dir, Options{SnapshotEvery: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for day, d := range docs {
+		if err := w.Append(day, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	a, err := Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries := 0
+		err := a.Range("ipv4", 0, -1, func(day int, doc *core.Document) error {
+			entries += len(doc.Entries)
+			return nil
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if entries == 0 {
+			b.Fatal("empty decode")
+		}
+	}
+}
+
+// BenchmarkFullJSONDecode is the baseline the archive competes with:
+// parsing every day's full JSON document from scratch.
+func BenchmarkFullJSONDecode(b *testing.B) {
+	_, full := benchChain(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		entries := 0
+		for _, raw := range full {
+			doc, err := core.ParseDocument(bytes.NewReader(raw))
+			if err != nil {
+				b.Fatal(err)
+			}
+			entries += len(doc.Entries)
+		}
+		if entries == 0 {
+			b.Fatal("empty decode")
+		}
+	}
+}
+
+// BenchmarkStreamEncode times the streaming codec against the buffered
+// encoder on one day's document.
+func BenchmarkStreamEncode(b *testing.B) {
+	docs, _ := benchChain(b)
+	doc := docs[benchDays-1]
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		count := &countingWriter{}
+		if err := core.StreamDocument(count, doc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

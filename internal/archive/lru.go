@@ -1,0 +1,55 @@
+package archive
+
+import "container/list"
+
+// LRU is a small bounded least-recently-used cache — the one primitive
+// behind both the archive's decoded-day cache and the API server's
+// day cache, so eviction behaviour has a single implementation.
+type LRU[K comparable, V any] struct {
+	cap   int
+	order *list.List // front = most recent; values are *lruPair[K, V]
+	byKey map[K]*list.Element
+}
+
+type lruPair[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// NewLRU returns an empty cache bounded to max(1, capacity) entries.
+func NewLRU[K comparable, V any](capacity int) *LRU[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &LRU[K, V]{cap: capacity, order: list.New(), byKey: make(map[K]*list.Element)}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (l *LRU[K, V]) Get(k K) (V, bool) {
+	el, ok := l.byKey[k]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	l.order.MoveToFront(el)
+	return el.Value.(*lruPair[K, V]).val, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entries beyond the bound.
+func (l *LRU[K, V]) Put(k K, v V) {
+	if el, ok := l.byKey[k]; ok {
+		el.Value.(*lruPair[K, V]).val = v
+		l.order.MoveToFront(el)
+		return
+	}
+	l.byKey[k] = l.order.PushFront(&lruPair[K, V]{key: k, val: v})
+	for l.order.Len() > l.cap {
+		el := l.order.Back()
+		l.order.Remove(el)
+		delete(l.byKey, el.Value.(*lruPair[K, V]).key)
+	}
+}
+
+// Len reports the number of cached entries.
+func (l *LRU[K, V]) Len() int { return l.order.Len() }

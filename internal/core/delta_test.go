@@ -1,0 +1,158 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// evolve produces day+1's document from day's with deterministic churn:
+// some rows change sites, a few disappear, a few appear.
+func evolve(d *Document, day int) *Document {
+	out := d.DeepCopy()
+	out.Date = "2024-03-22"
+	out.GCount, out.MCount = 0, 0
+	out.ProbesAnycastStage += 1000
+	kept := out.Entries[:0]
+	for i := range out.Entries {
+		e := out.Entries[i]
+		if (i+day)%11 == 0 {
+			continue // withdrawn
+		}
+		if (i+day)%5 == 0 && e.GCDAnycast {
+			e.GCDSites += 2 // deployment growth
+		}
+		if e.GCDAnycast {
+			out.GCount++
+		} else if len(e.ACProtocols) > 0 {
+			out.MCount++
+		}
+		kept = append(kept, e)
+	}
+	out.Entries = kept
+	// A couple of new prefixes, placed anywhere; re-sort canonically.
+	for i := 0; i < 3; i++ {
+		out.Entries = append(out.Entries, DocumentEntry{
+			Prefix:      "8." + itoa(day%200) + "." + itoa(i) + ".0/24",
+			OriginASN:   65000,
+			ACProtocols: []string{"ICMP"},
+			GCDMeasured: true,
+			GCDAnycast:  true,
+			GCDSites:    2,
+			GCDCities:   []string{"London"},
+		})
+		out.GCount++
+	}
+	sortEntriesCanonical(out)
+	return out
+}
+
+// TestDeltaRoundTrip packs a chain of evolving documents into deltas and
+// proves each day reconstructs byte-for-byte.
+func TestDeltaRoundTrip(t *testing.T) {
+	prev := synthDoc(0, 60)
+	for day := 1; day <= 12; day++ {
+		cur := evolve(prev, day)
+		delta := DiffDocuments(prev, cur)
+		back, err := delta.Apply(prev)
+		if err != nil {
+			t.Fatalf("day %d: %v", day, err)
+		}
+		var want, got bytes.Buffer
+		if err := cur.WriteJSON(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := back.WriteJSON(&got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("day %d: delta apply did not reproduce the document", day)
+		}
+		if len(delta.Upserts) >= len(cur.Entries) {
+			t.Fatalf("day %d: delta degenerated to a full snapshot (%d upserts / %d entries)",
+				day, len(delta.Upserts), len(cur.Entries))
+		}
+		prev = cur
+	}
+}
+
+// TestDeltaStrictness rejects deltas applied to the wrong base.
+func TestDeltaStrictness(t *testing.T) {
+	a := synthDoc(0, 30)
+	b := evolve(a, 1)
+	delta := DiffDocuments(a, b)
+
+	wrongFam := a.DeepCopy()
+	wrongFam.Family = "ipv6"
+	if _, err := delta.Apply(wrongFam); err == nil {
+		t.Fatal("family mismatch accepted")
+	}
+
+	if len(delta.Removed) > 0 {
+		stripped := a.DeepCopy()
+		kept := stripped.Entries[:0]
+		for _, e := range stripped.Entries {
+			if e.Prefix != delta.Removed[0] {
+				kept = append(kept, e)
+			}
+		}
+		stripped.Entries = kept
+		if _, err := delta.Apply(stripped); err == nil {
+			t.Fatal("removal of an absent prefix accepted")
+		}
+	}
+}
+
+// TestDeltaToEmptyDay reconstructs a fully-withdrawn day byte-for-byte:
+// the result must carry nil entries (canonical `"entries": null`), not
+// an empty slice (`[]`).
+func TestDeltaToEmptyDay(t *testing.T) {
+	a := synthDoc(0, 10)
+	b := a.DeepCopy()
+	b.Date = "2024-03-22"
+	b.Entries = nil
+	b.GCount, b.MCount = 0, 0
+	delta := DiffDocuments(a, b)
+	back, err := delta.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Entries != nil {
+		t.Fatalf("empty day reconstructed with non-nil entries (len %d)", len(back.Entries))
+	}
+	var want, got bytes.Buffer
+	if err := b.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("empty-day delta not byte-identical:\nwant %q\ngot  %q", want.String(), got.String())
+	}
+}
+
+// TestDeltaEmpty handles the no-change day: the delta carries only the
+// header and applies cleanly.
+func TestDeltaEmpty(t *testing.T) {
+	a := synthDoc(0, 20)
+	b := a.DeepCopy()
+	b.Date = "2024-03-22"
+	delta := DiffDocuments(a, b)
+	if len(delta.Removed) != 0 || len(delta.Upserts) != 0 {
+		t.Fatalf("no-change delta carries %d removals, %d upserts", len(delta.Removed), len(delta.Upserts))
+	}
+	back, err := delta.Apply(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := b.WriteJSON(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.WriteJSON(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatal("empty delta did not reproduce the document")
+	}
+}

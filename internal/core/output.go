@@ -39,15 +39,30 @@ func (e *DocumentEntry) InM() bool { return len(e.ACProtocols) > 0 && !e.GCDAnyc
 
 // Document is the JSON schema of one daily census file — the unit the
 // public repository carries and downstream consumers (the dashboard, the
-// diff tool) operate on.
+// diff tool) operate on. Entries must stay the last field: the streaming
+// codec (DocumentWriter/DocumentReader) depends on every scalar
+// preceding the entry array.
 type Document struct {
-	Date        string          `json:"date"`
-	Family      string          `json:"family"`
-	HitlistSize int             `json:"hitlist_size"`
-	Workers     int             `json:"workers"`
-	GCount      int             `json:"gcd_confirmed"`
-	MCount      int             `json:"anycast_based_only"`
-	Entries     []DocumentEntry `json:"entries"`
+	Date        string `json:"date"`
+	Family      string `json:"family"`
+	HitlistSize int    `json:"hitlist_size"`
+	Workers     int    `json:"workers"`
+	GCount      int    `json:"gcd_confirmed"`
+	MCount      int    `json:"anycast_based_only"`
+
+	// R3 cost accounting, published so responsible-use budgets are
+	// visible in the artifact itself, not just in the runner's memory
+	// (§4.2.2: LACeS bounds its daily probing cost by design).
+	ProbesAnycastStage    int64 `json:"probes_anycast_stage"`
+	ProbesGCDStage        int64 `json:"probes_gcd_stage"`
+	ProbesTracerouteStage int64 `json:"probes_traceroute_stage"`
+
+	Entries []DocumentEntry `json:"entries"`
+}
+
+// ProbesTotal sums the published per-stage probing cost.
+func (d *Document) ProbesTotal() int64 {
+	return d.ProbesAnycastStage + d.ProbesGCDStage + d.ProbesTracerouteStage
 }
 
 func protoNames(flags [3]bool) []string {
@@ -67,14 +82,16 @@ func protoNames(flags [3]bool) []string {
 	return out
 }
 
-// sortedEntries returns entries ordered by prefix for stable output.
+// sortedEntries returns entries in canonical census order: numerically by
+// prefix (address, then length) — not by Prefix.String(), which would
+// sort "10.0.0.0/24" before "2.0.0.0/24".
 func (c *DailyCensus) sortedEntries() []*Entry {
 	out := make([]*Entry, 0, len(c.Entries))
 	for _, e := range c.Entries {
 		out = append(out, e)
 	}
 	sort.Slice(out, func(i, j int) bool {
-		return out[i].Prefix.String() < out[j].Prefix.String()
+		return ComparePrefix(out[i].Prefix, out[j].Prefix) < 0
 	})
 	return out
 }
@@ -93,6 +110,10 @@ func (c *DailyCensus) Document() *Document {
 		Workers:     c.Workers,
 		GCount:      c.CountG(),
 		MCount:      c.CountM(),
+
+		ProbesAnycastStage:    c.ProbesAnycastStage,
+		ProbesGCDStage:        c.ProbesGCDStage,
+		ProbesTracerouteStage: c.ProbesTracerouteStage,
 	}
 	for _, e := range c.sortedEntries() {
 		if !e.IsCandidate() && !e.GCDAnycast && !e.PartialAnycast {
@@ -117,11 +138,9 @@ func (c *DailyCensus) Document() *Document {
 }
 
 // WriteJSON publishes the census as the JSON document the public
-// repository would carry.
+// repository would carry (the canonical bytes of Document.WriteJSON).
 func (c *DailyCensus) WriteJSON(w io.Writer) error {
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(c.Document())
+	return c.Document().WriteJSON(w)
 }
 
 // WriteCSV publishes the census as CSV, one row per published prefix.

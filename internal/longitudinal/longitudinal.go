@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"sort"
 
+	"github.com/laces-project/laces/internal/archive"
 	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
@@ -114,6 +115,12 @@ type Config struct {
 	Events Events
 	// Quiet disables per-run progress output.
 	Progress func(day int)
+	// Sink, when set, receives each finished day's published document as
+	// it completes — typically an archive.Writer, which delta-encodes the
+	// stream to disk. The runner itself never retains a census beyond the
+	// day it ran: History is built from per-day summaries, so peak memory
+	// stays O(1) in census size regardless of the day count.
+	Sink archive.Sink
 }
 
 // DaySummary is the per-day census digest feeding Fig 9.
@@ -251,6 +258,11 @@ func Run(w *netsim.World, cfg Config) (*History, error) {
 				return nil, fmt.Errorf("longitudinal: day %d v6=%v: %w", day, v6, err)
 			}
 			h.record(c)
+			if cfg.Sink != nil {
+				if err := cfg.Sink.Append(day, c.Document()); err != nil {
+					return nil, fmt.Errorf("longitudinal: archiving day %d v6=%v: %w", day, v6, err)
+				}
+			}
 		}
 		h.Days = appendUnique(h.Days, day)
 	}

@@ -9,40 +9,68 @@ import (
 	"github.com/laces-project/laces/internal/core"
 )
 
-// Dashboard renders a text dashboard over a series of census documents —
-// the information the paper's public dashboard surfaces: detection-count
-// trends per method, the largest origin ASes, confidence composition, and
-// churn between consecutive snapshots.
-func Dashboard(w io.Writer, docs []*core.Document) error {
-	if len(docs) == 0 {
+// DashboardBuilder accumulates a census-document stream into the text
+// dashboard, holding O(1) documents no matter how many days flow
+// through: per-snapshot trend rows are tiny digests, and only the last
+// two documents are retained (composition and churn need them). Feed
+// days in date order — exactly what an archive.Range delivers.
+type DashboardBuilder struct {
+	rows         []trendRow
+	prev, latest *core.Document
+	// Cumulative R3 probing cost over the stream (the published
+	// responsible-use ledger).
+	probesAnycast, probesGCD, probesTraceroute int64
+}
+
+// trendRow is the per-snapshot digest behind the detection-trend bars.
+type trendRow struct {
+	date string
+	g, m int
+}
+
+// NewDashboardBuilder returns an empty builder.
+func NewDashboardBuilder() *DashboardBuilder { return &DashboardBuilder{} }
+
+// Add folds one day's document into the dashboard. The builder retains
+// doc until the next Add; callers must not mutate it.
+func (b *DashboardBuilder) Add(doc *core.Document) {
+	b.rows = append(b.rows, trendRow{date: doc.Date, g: doc.GCount, m: doc.MCount})
+	b.probesAnycast += doc.ProbesAnycastStage
+	b.probesGCD += doc.ProbesGCDStage
+	b.probesTraceroute += doc.ProbesTracerouteStage
+	b.prev, b.latest = b.latest, doc
+}
+
+// Snapshots reports how many days have been folded in.
+func (b *DashboardBuilder) Snapshots() int { return len(b.rows) }
+
+// Render writes the dashboard.
+func (b *DashboardBuilder) Render(w io.Writer) error {
+	if b.latest == nil {
 		return fmt.Errorf("report: dashboard needs at least one census document")
 	}
-	sorted := make([]*core.Document, len(docs))
-	copy(sorted, docs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Date < sorted[j].Date })
-
-	latest := sorted[len(sorted)-1]
+	latest := b.latest
 	if _, err := fmt.Fprintf(w, "LACeS census dashboard — %s (%s), %d snapshots\n\n",
-		latest.Date, latest.Family, len(sorted)); err != nil {
+		latest.Date, latest.Family, len(b.rows)); err != nil {
 		return err
 	}
 
 	// Trend: G and M counts per snapshot as scaled bars.
 	maxCount := 1
-	for _, d := range sorted {
-		if d.GCount+d.MCount > maxCount {
-			maxCount = d.GCount + d.MCount
+	for _, row := range b.rows {
+		if row.g+row.m > maxCount {
+			maxCount = row.g + row.m
 		}
 	}
 	if _, err := fmt.Fprintln(w, "detections per snapshot (█ GCD-confirmed, ░ anycast-based only):"); err != nil {
 		return err
 	}
-	for _, d := range sorted {
+	for _, row := range b.rows {
 		const width = 48
-		g := d.GCount * width / maxCount
-		m := d.MCount * width / maxCount
+		g := row.g * width / maxCount
+		m := row.m * width / maxCount
 		if _, err := fmt.Fprintf(w, "  %s  %s%s %6d G %6d M\n",
-			d.Date, strings.Repeat("█", g), strings.Repeat("░", m), d.GCount, d.MCount); err != nil {
+			row.date, strings.Repeat("█", g), strings.Repeat("░", m), row.g, row.m); err != nil {
 			return err
 		}
 	}
@@ -79,6 +107,15 @@ func Dashboard(w io.Writer, docs []*core.Document) error {
 		return err
 	}
 
+	// R3 probing cost, from the published per-stage accounting: the
+	// responsible-use budget is visible in the artifact, not just in the
+	// runner's memory.
+	if _, err := fmt.Fprintf(w, "probing cost (R3): latest day %s probes; Σ %d snapshots: %s anycast + %s gcd + %s traceroute\n",
+		fmtCount(latest.ProbesTotal()), len(b.rows),
+		fmtCount(b.probesAnycast), fmtCount(b.probesGCD), fmtCount(b.probesTraceroute)); err != nil {
+		return err
+	}
+
 	// Top origins (the Table 5 view).
 	type asCount struct {
 		asn uint32
@@ -107,8 +144,8 @@ func Dashboard(w io.Writer, docs []*core.Document) error {
 	}
 
 	// Churn between the last two snapshots.
-	if len(sorted) >= 2 {
-		d := Diff(sorted[len(sorted)-2], latest)
+	if b.prev != nil {
+		d := Diff(b.prev, latest)
 		if _, err := fmt.Fprintf(w, "\nchurn %s → %s: +%d appeared, −%d withdrawn, %d confirmed, %d unconfirmed\n",
 			d.From, d.To, d.Counts[Appeared], d.Counts[Withdrawn],
 			d.Counts[Confirmed], d.Counts[Unconfirmed]); err != nil {
@@ -116,4 +153,45 @@ func Dashboard(w io.Writer, docs []*core.Document) error {
 		}
 	}
 	return nil
+}
+
+// fmtCount renders a probe count with thousands separators.
+func fmtCount(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if len(s) <= 3 {
+		return s
+	}
+	var b strings.Builder
+	lead := len(s) % 3
+	if lead > 0 {
+		b.WriteString(s[:lead])
+	}
+	for i := lead; i < len(s); i += 3 {
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(s[i : i+3])
+	}
+	return b.String()
+}
+
+// Dashboard renders a text dashboard over a materialized slice of census
+// documents — the information the paper's public dashboard surfaces:
+// detection-count trends per method, the largest origin ASes, confidence
+// composition, churn between consecutive snapshots, and the published R3
+// probing budget. Streaming consumers (the archive CLI, the HTTP layer)
+// should feed a DashboardBuilder day by day instead of materializing
+// every document.
+func Dashboard(w io.Writer, docs []*core.Document) error {
+	if len(docs) == 0 {
+		return fmt.Errorf("report: dashboard needs at least one census document")
+	}
+	sorted := make([]*core.Document, len(docs))
+	copy(sorted, docs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Date < sorted[j].Date })
+	b := NewDashboardBuilder()
+	for _, d := range sorted {
+		b.Add(d)
+	}
+	return b.Render(w)
 }

@@ -138,7 +138,9 @@ func Diff(old, new *core.Document) *DiffResult {
 		if r.Deltas[i].Kind != r.Deltas[j].Kind {
 			return r.Deltas[i].Kind < r.Deltas[j].Kind
 		}
-		return r.Deltas[i].Prefix < r.Deltas[j].Prefix
+		// Canonical numeric prefix order, matching the census itself —
+		// not string order, which puts 10.0.0.0/24 before 2.0.0.0/24.
+		return core.ComparePrefixStrings(r.Deltas[i].Prefix, r.Deltas[j].Prefix) < 0
 	})
 	return r
 }

@@ -197,6 +197,70 @@ func TestDashboardEmpty(t *testing.T) {
 	if err := Dashboard(&bytes.Buffer{}, nil); err == nil {
 		t.Fatal("empty dashboard should error")
 	}
+	if err := NewDashboardBuilder().Render(&bytes.Buffer{}); err == nil {
+		t.Fatal("empty builder should error")
+	}
+}
+
+// TestDashboardBuilderMatchesBatch pins the streaming port: feeding the
+// builder day by day renders exactly what the materialized Dashboard
+// renders.
+func TestDashboardBuilderMatchesBatch(t *testing.T) {
+	a, b := censusDocs(t)
+	var batch bytes.Buffer
+	if err := Dashboard(&batch, []*core.Document{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	builder := NewDashboardBuilder()
+	builder.Add(a)
+	builder.Add(b)
+	var streamed bytes.Buffer
+	if err := builder.Render(&streamed); err != nil {
+		t.Fatal(err)
+	}
+	if batch.String() != streamed.String() {
+		t.Fatalf("streamed dashboard diverges from batch:\n--- batch\n%s\n--- streamed\n%s",
+			batch.String(), streamed.String())
+	}
+	if builder.Snapshots() != 2 {
+		t.Fatalf("builder counted %d snapshots", builder.Snapshots())
+	}
+}
+
+// TestDashboardShowsProbeBudget pins the published R3 cost surface.
+func TestDashboardShowsProbeBudget(t *testing.T) {
+	a, b := censusDocs(t)
+	if a.ProbesAnycastStage <= 0 || a.ProbesGCDStage <= 0 {
+		t.Fatalf("census document lacks probe accounting: %+v", a)
+	}
+	var buf bytes.Buffer
+	if err := Dashboard(&buf, []*core.Document{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "probing cost (R3)") {
+		t.Fatalf("dashboard does not surface the probe budget:\n%s", buf.String())
+	}
+}
+
+// TestDiffOrderingNumeric pins the satellite fix on the diff tool's
+// ordering: within a change kind, deltas sort numerically by prefix.
+func TestDiffOrderingNumeric(t *testing.T) {
+	old := &core.Document{Date: "a", Family: "ipv4"}
+	new := &core.Document{Date: "b", Family: "ipv4", Entries: []core.DocumentEntry{
+		{Prefix: "2.0.0.0/24", ACProtocols: []string{"ICMP"}},
+		{Prefix: "10.0.0.0/24", ACProtocols: []string{"ICMP"}},
+		{Prefix: "100.0.0.0/24", ACProtocols: []string{"ICMP"}},
+	}}
+	d := Diff(old, new)
+	if len(d.Deltas) != 3 {
+		t.Fatalf("want 3 appeared, got %d", len(d.Deltas))
+	}
+	want := []string{"2.0.0.0/24", "10.0.0.0/24", "100.0.0.0/24"}
+	for i, delta := range d.Deltas {
+		if delta.Prefix != want[i] {
+			t.Fatalf("delta %d = %s, want %s (numeric order)", i, delta.Prefix, want[i])
+		}
+	}
 }
 
 // TestDiffSymmetryProperty checks Appeared/Withdrawn and

@@ -39,6 +39,13 @@
 // byte-identical to the sequential run at every worker count — see the
 // README's "Concurrency model" section for the determinism contract.
 //
+// Longitudinal runs stream into an append-only, delta-encoded census
+// store (see internal/archive): full snapshots every K days, deltas in
+// between, and a CRC-verified guarantee that unpacking reproduces every
+// day's published JSON byte-for-byte. The HTTP API, the dashboard and
+// the diff tooling all serve straight from the store — see the README's
+// "Longitudinal census archive" section.
+//
 // # Quick start
 //
 //	world, _ := laces.NewWorld(laces.TestConfig())
@@ -59,6 +66,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/laces-project/laces/internal/archive"
 	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/geo"
@@ -133,8 +141,24 @@ type (
 	Fanout = traceroute.Fanout
 	// CensusDocument is the published JSON form of one census day.
 	CensusDocument = core.Document
+	// CensusDocumentDelta is the day-over-day difference between two
+	// published documents (the archive's between-snapshot encoding).
+	CensusDocumentDelta = core.DocumentDelta
 	// CensusDiff summarises day-over-day census changes.
 	CensusDiff = report.DiffResult
+)
+
+// Archive (longitudinal census store) types.
+type (
+	// CensusArchive reads an append-only, delta-encoded census store.
+	CensusArchive = archive.Archive
+	// CensusArchiveWriter appends days to a census store.
+	CensusArchiveWriter = archive.Writer
+	// CensusArchiveOptions parameterises archive creation.
+	CensusArchiveOptions = archive.Options
+	// CensusSink consumes finished census days as they complete (an
+	// ArchiveWriter is one; RunLongitudinalInto streams into it).
+	CensusSink = archive.Sink
 )
 
 // Chaos (fault-injection) types.
@@ -254,6 +278,32 @@ func RunLongitudinal(w *World, days, stride int) (*History, error) {
 		Events: longitudinal.DefaultEvents(),
 	})
 }
+
+// RunLongitudinalInto executes a multi-day census and streams each
+// finished day's published document into the sink (typically a
+// CensusArchiveWriter). Peak memory stays O(1) in census size: History
+// holds per-day summaries only, never the censuses themselves.
+func RunLongitudinalInto(w *World, days, stride int, sink CensusSink) (*History, error) {
+	return longitudinal.Run(w, longitudinal.Config{
+		Days:   days,
+		Stride: stride,
+		Events: longitudinal.DefaultEvents(),
+		Sink:   sink,
+	})
+}
+
+// CreateArchive initialises a new delta-encoded census store at dir.
+func CreateArchive(dir string, opts CensusArchiveOptions) (*CensusArchiveWriter, error) {
+	return archive.Create(dir, opts)
+}
+
+// OpenArchiveWriter resumes appending to an existing census store.
+func OpenArchiveWriter(dir string, opts CensusArchiveOptions) (*CensusArchiveWriter, error) {
+	return archive.OpenWriter(dir, opts)
+}
+
+// OpenArchive opens a census store for reading.
+func OpenArchive(dir string) (*CensusArchive, error) { return archive.Open(dir) }
 
 // Traceroute measures the TTL-based forward path from a vantage point to
 // a hitlist target at a point on the census timeline.

@@ -148,3 +148,48 @@ func TestFacadeTracerouteAndDiff(t *testing.T) {
 		t.Fatal("empty trace")
 	}
 }
+
+// TestFacadeArchive exercises the documented archive surface: stream a
+// longitudinal run into a store, reopen it, and read a day back
+// byte-identically to its published form.
+func TestFacadeArchive(t *testing.T) {
+	world := facadeWorld(t)
+	dir := t.TempDir()
+	w, err := laces.CreateArchive(dir, laces.CensusArchiveOptions{SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := laces.RunLongitudinalInto(world, 3, 1, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Summaries(false)) != 3 {
+		t.Fatalf("ran %d days", len(h.Summaries(false)))
+	}
+	a, err := laces.OpenArchive(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := a.Verify(); err != nil || res.Days != 6 { // 3 days × 2 families
+		t.Fatalf("verify: %v (%+v)", err, res)
+	}
+	doc, err := a.Document("ipv4", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.GCount == 0 || doc.ProbesAnycastStage == 0 {
+		t.Fatalf("archived day degenerate: %+v", doc)
+	}
+	// Append more days through the facade's resume path.
+	w2, err := laces.OpenArchiveWriter(dir, laces.CensusArchiveOptions{SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := laces.RunLongitudinalInto(world, 3, 1, w2); err == nil {
+		t.Fatal("re-running days 0–2 must violate append-only ordering")
+	}
+	_ = w2.Close()
+}
