@@ -19,6 +19,10 @@
 //	laces archive verify -dir dir
 //	laces archive stats -dir dir
 //	laces replay -archive dir [-diff]
+//	laces query build-index -archive dir
+//	laces query timeline -archive dir -prefix 1.2.3.0/24
+//	laces query events -archive dir -kind onset -from 10 -to 90
+//	laces query stability -archive dir -prefix 1.2.3.0/24
 //
 // The worker and measure subcommands probe the embedded simulated Internet
 // (all components must use the same -seed); the orchestration plane itself
@@ -28,12 +32,14 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"net/netip"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -47,6 +53,7 @@ import (
 	"github.com/laces-project/laces/internal/orchestrator"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/query"
 	"github.com/laces-project/laces/internal/report"
 	"github.com/laces-project/laces/internal/traceroute"
 	"github.com/laces-project/laces/internal/wire"
@@ -83,6 +90,8 @@ func main() {
 		err = runArchive(args)
 	case "replay":
 		err = runReplay(args)
+	case "query":
+		err = runQuery(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -111,6 +120,7 @@ Subcommands:
   dashboard      render a text dashboard over census snapshots or an archive
   archive        pack, verify and inspect the delta-encoded census store
   replay         stream an archived census history day by day
+  query          longitudinal queries over the archive's timeline index
 
 Run 'laces <subcommand> -h' for flags.
 `)
@@ -432,6 +442,30 @@ func runServe(args []string) error {
 		for _, fam := range a.Families() {
 			fmt.Printf("serving archive %s: %d %s days\n", *archiveDir, len(a.Days(fam)), fam)
 		}
+		// A timeline index next to the archive lights up the
+		// longitudinal endpoints; without one they answer 404.
+		idxPath := filepath.Join(*archiveDir, query.IndexFileName)
+		if _, err := os.Stat(idxPath); err == nil {
+			ix, err := query.Open(idxPath)
+			if err != nil {
+				return fmt.Errorf("opening timeline index: %w", err)
+			}
+			// A stale index (archive grew since the build) must not
+			// silently serve wrong longitudinal answers: keep the rest
+			// of the API up and say how to fix it.
+			if err := ix.VerifyCoverage(a); err != nil {
+				ix.Close()
+				fmt.Printf("WARNING: not serving longitudinal endpoints: %v\n", err)
+			} else {
+				defer ix.Close()
+				ix.AttachArchive(a)
+				srv.Query = ix
+				fmt.Printf("serving timeline index: %d prefix timelines (/v1/timeline, /v1/events, /v1/stability)\n",
+					len(ix.Prefixes("ipv4"))+len(ix.Prefixes("ipv6")))
+			}
+		} else {
+			fmt.Printf("no timeline index (build one with `laces query build-index -archive %s`)\n", *archiveDir)
+		}
 	}
 	fmt.Printf("census API listening on http://%s (try /v1/census, /v1/days, /v1/range, /v1/healthz)\n", *listen)
 	server := &http.Server{Addr: *listen, Handler: srv.Handler(), ReadHeaderTimeout: 10 * time.Second}
@@ -523,7 +557,32 @@ func runDashboard(args []string) error {
 		if err != nil {
 			return err
 		}
-		return b.Render(os.Stdout)
+		if err := b.Render(os.Stdout); err != nil {
+			return err
+		}
+		// With a timeline index next to the archive, the churn/events
+		// section comes from query results — no document re-scan.
+		if _, err := os.Stat(filepath.Join(*dir, query.IndexFileName)); err == nil {
+			ix, err := query.Open(filepath.Join(*dir, query.IndexFileName))
+			if err != nil {
+				return err
+			}
+			defer ix.Close()
+			if err := ix.VerifyCoverage(a); err != nil {
+				fmt.Printf("\n(churn/events section skipped: %v)\n", err)
+				return nil
+			}
+			series, err := ix.Series(*famFlag)
+			if err != nil {
+				return err
+			}
+			events, err := ix.Events(*famFlag, nil, 0, -1, query.EventOptions{})
+			if err != nil {
+				return err
+			}
+			return report.ChurnAndEvents(os.Stdout, series, events, 0, 0)
+		}
+		return nil
 	}
 	if fs.NArg() == 0 {
 		return fmt.Errorf("usage: laces dashboard <census.json> [more.json ...] | laces dashboard -archive <dir>")
@@ -704,6 +763,178 @@ func runReplay(args []string) error {
 		return nil
 	})
 	return err
+}
+
+// runQuery dispatches the longitudinal query tooling.
+func runQuery(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: laces query <build-index|timeline|events|stability> ...")
+	}
+	switch args[0] {
+	case "build-index":
+		return runQueryBuildIndex(args[1:])
+	case "timeline":
+		return runQueryTimeline(args[1:])
+	case "events":
+		return runQueryEvents(args[1:])
+	case "stability":
+		return runQueryStability(args[1:])
+	default:
+		return fmt.Errorf("laces query: unknown subcommand %q (build-index, timeline, events, stability)", args[0])
+	}
+}
+
+// openIndex opens an archive's timeline index with a build hint on miss.
+func openIndex(dir string) (*query.Index, error) {
+	ix, err := query.OpenDir(dir)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil, fmt.Errorf("%s has no timeline index — run `laces query build-index -archive %s` first", dir, dir)
+		}
+		return nil, err
+	}
+	return ix, nil
+}
+
+// runQueryBuildIndex makes the one streaming indexing pass.
+func runQueryBuildIndex(args []string) error {
+	fs := flag.NewFlagSet("query build-index", flag.ExitOnError)
+	dir := fs.String("archive", "", "archive directory (required)")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("usage: laces query build-index -archive <dir>")
+	}
+	start := time.Now()
+	res, err := query.BuildDir(*dir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d families, %d day-files, %d prefix timelines into %s (%.1fs)\n",
+		res.Families, res.Days, res.Prefixes, res.Path, time.Since(start).Seconds())
+	fmt.Printf("index is %d bytes over a %d-byte archive (%.1f%%)\n",
+		res.Bytes, res.SourceBytes, 100*float64(res.Bytes)/float64(max(res.SourceBytes, 1)))
+	return nil
+}
+
+// runQueryTimeline prints one prefix's longitudinal strip.
+func runQueryTimeline(args []string) error {
+	fs := flag.NewFlagSet("query timeline", flag.ExitOnError)
+	dir := fs.String("archive", "", "archive directory (required)")
+	prefix := fs.String("prefix", "", "census prefix (required)")
+	famFlag := fs.String("family", "ipv4", "address family")
+	fs.Parse(args)
+	if *dir == "" || *prefix == "" {
+		return fmt.Errorf("usage: laces query timeline -archive <dir> -prefix <p> [-family ipv4]")
+	}
+	ix, err := openIndex(*dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	tl, err := ix.Timeline(*famFlag, *prefix)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("timeline %s (%s), origin AS%d — present %d of %d indexed days\n",
+		tl.Prefix, tl.Family, tl.OriginASN, tl.PresentDays(), len(tl.Days))
+	var strip strings.Builder
+	for i := range tl.Days {
+		switch {
+		case !tl.Present[i]:
+			strip.WriteByte('.')
+		case tl.GCDAnycast[i]:
+			strip.WriteByte('G')
+		case tl.AnycastBased[i]:
+			strip.WriteByte('M')
+		default:
+			strip.WriteByte('+')
+		}
+	}
+	fmt.Printf("  days %d..%d: %s\n", tl.Days[0], tl.Days[len(tl.Days)-1], strip.String())
+	if first, ok := tl.FirstPresent(); ok {
+		last, _ := tl.LastPresent()
+		minS, maxS := 0, 0
+		for i, s := range tl.Sites {
+			if !tl.Present[i] || s == 0 {
+				continue
+			}
+			if minS == 0 || s < minS {
+				minS = s
+			}
+			if s > maxS {
+				maxS = s
+			}
+		}
+		fmt.Printf("  first day %d, last day %d; enumerated sites %d..%d\n", first, last, minS, maxS)
+	}
+	st := query.ScoreTimeline(tl, query.EventOptions{})
+	fmt.Printf("  stability %.4f (onsets %d, offsets %d, flaps %d, site changes %d, geo shifts %d)\n",
+		st.Score, st.Onsets, st.Offsets, st.Flaps, st.SiteChanges, st.GeoShifts)
+	return nil
+}
+
+// runQueryEvents prints the family-wide event scan.
+func runQueryEvents(args []string) error {
+	fs := flag.NewFlagSet("query events", flag.ExitOnError)
+	dir := fs.String("archive", "", "archive directory (required)")
+	famFlag := fs.String("family", "ipv4", "address family")
+	kindFlag := fs.String("kind", "", "comma-separated event kinds (onset,offset,flap,site-churn,geo-shift; empty: all)")
+	from := fs.Int("from", 0, "first day")
+	to := fs.Int("to", -1, "last day (-1: through the end)")
+	hysteresis := fs.Int("hysteresis", 0, "absent days before offset (default 2)")
+	max := fs.Int("max", 40, "events shown")
+	fs.Parse(args)
+	if *dir == "" {
+		return fmt.Errorf("usage: laces query events -archive <dir> [-kind onset,...] [-from N] [-to M]")
+	}
+	var kinds []query.EventKind
+	if *kindFlag != "" {
+		for _, raw := range strings.Split(*kindFlag, ",") {
+			k, err := query.ParseEventKind(strings.TrimSpace(raw))
+			if err != nil {
+				return err
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	ix, err := openIndex(*dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	events, err := ix.Events(*famFlag, kinds, *from, *to, query.EventOptions{Hysteresis: *hysteresis})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d events (%s)\n", len(events), *famFlag)
+	return report.RenderEvents(os.Stdout, events, *max)
+}
+
+// runQueryStability prints one prefix's stability record.
+func runQueryStability(args []string) error {
+	fs := flag.NewFlagSet("query stability", flag.ExitOnError)
+	dir := fs.String("archive", "", "archive directory (required)")
+	prefix := fs.String("prefix", "", "census prefix (required)")
+	famFlag := fs.String("family", "ipv4", "address family")
+	fs.Parse(args)
+	if *dir == "" || *prefix == "" {
+		return fmt.Errorf("usage: laces query stability -archive <dir> -prefix <p> [-family ipv4]")
+	}
+	ix, err := openIndex(*dir)
+	if err != nil {
+		return err
+	}
+	defer ix.Close()
+	st, err := ix.Stability(*famFlag, *prefix)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("stability %s (%s): score %.4f\n", st.Prefix, st.Family, st.Score)
+	fmt.Printf("  present %d of %d indexed days (%d GCD-confirmed), mean sites %.1f\n",
+		st.DaysPresent, st.DaysIndexed, st.GCDDays, st.MeanSites)
+	fmt.Printf("  onsets %d, offsets %d, flaps %d, site changes %d, geo shifts %d\n",
+		st.Onsets, st.Offsets, st.Flaps, st.SiteChanges, st.GeoShifts)
+	return nil
 }
 
 func runTrace(args []string) error {

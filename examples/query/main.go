@@ -1,0 +1,120 @@
+// Query: the longitudinal query engine end to end — archive a 120-day
+// census run, build the columnar prefix-timeline index in one
+// streaming pass, then answer the paper's longitudinal questions
+// (per-prefix timelines, onset/offset/flap/churn events, stability
+// scores, daily churn series) from the index alone: not a single
+// archived day is decoded on the query path, and the attached
+// archive's decode counter proves it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	laces "github.com/laces-project/laces"
+)
+
+func main() {
+	world, err := laces.NewWorld(laces.TestConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dir, err := os.MkdirTemp("", "laces-query-*")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// Produce: 120 daily censuses streamed into the delta store.
+	const days = 120
+	w, err := laces.CreateArchive(dir, laces.CensusArchiveOptions{SnapshotEvery: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := laces.RunLongitudinalInto(world, days, 1, w); err != nil {
+		log.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Index: one streaming pass over the archive.
+	res, err := laces.BuildCensusIndex(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("indexed %d prefix timelines over %d day-files into %d bytes (%.1f%% of the archive)\n\n",
+		res.Prefixes, res.Days, res.Bytes, 100*float64(res.Bytes)/float64(res.SourceBytes))
+
+	ix, err := laces.OpenCensusIndex(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ix.Close()
+
+	// Aggregate series: daily anycast counts and churn rate.
+	series, err := ix.Series("ipv4")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("last week of the daily series:")
+	for _, pt := range series[len(series)-7:] {
+		fmt.Printf("  day %3d  G=%-4d M=%-4d  +%d/−%d prefixes (churn %.1f%%)\n",
+			pt.Day, pt.GCDConfirmed, pt.AnycastOnly, pt.Added, pt.Removed, 100*pt.ChurnRate)
+	}
+
+	// Events: the longitudinal incident stream with hysteresis.
+	events, err := laces.QueryEvents(ix, "ipv4", nil, 0, -1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	perKind := map[laces.TimelineEventKind]int{}
+	for _, e := range events {
+		perKind[e.Kind]++
+	}
+	fmt.Printf("\n%d events across %d days:", len(events), days)
+	for _, kind := range []laces.TimelineEventKind{"onset", "offset", "flap", "site-churn", "geo-shift"} {
+		fmt.Printf(" %s=%d", kind, perKind[kind])
+	}
+	fmt.Println()
+
+	// Timeline + stability for the most eventful prefix.
+	busiest, busiestN := ix.Prefixes("ipv4")[0], 0 // fallback: a fully stable census has no events
+	counts := map[string]int{}
+	for _, e := range events {
+		counts[e.Prefix]++
+		if counts[e.Prefix] > busiestN {
+			busiest, busiestN = e.Prefix, counts[e.Prefix]
+		}
+	}
+	tl, err := laces.QueryTimeline(ix, "ipv4", busiest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st, err := laces.QueryStability(ix, "ipv4", busiest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nbusiest prefix %s (AS%d): present %d/%d days, %d events, stability %.4f\n",
+		tl.Prefix, tl.OriginASN, tl.PresentDays(), len(tl.Days), busiestN, st.Score)
+	strip := make([]byte, len(tl.Days))
+	for i := range tl.Days {
+		switch {
+		case !tl.Present[i]:
+			strip[i] = '.'
+		case tl.GCDAnycast[i]:
+			strip[i] = 'G'
+		case tl.AnycastBased[i]:
+			strip[i] = 'M'
+		default:
+			strip[i] = '+'
+		}
+	}
+	fmt.Printf("  %s\n", strip)
+
+	// The index-only guarantee, demonstrated: every answer above came
+	// from the columnar index, not from decoding archived days.
+	fmt.Printf("\narchived documents decoded on the query path: %d\n", ix.Archive().Decodes())
+}

@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"net/netip"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +30,7 @@ import (
 	"github.com/laces-project/laces/internal/manycast"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
+	"github.com/laces-project/laces/internal/query"
 )
 
 // DefaultCacheSize bounds the server's decoded-day LRU (the same bound
@@ -46,6 +48,12 @@ type Server struct {
 	// delta-encoded store; days not in the archive fall back to running
 	// the pipeline. Set before the first request.
 	Archive *archive.Archive
+	// Query, when set, answers the longitudinal endpoints
+	// (/v1/timeline, /v1/events, /v1/stability) from the columnar
+	// prefix-timeline index — one shared handle across all requests,
+	// no document decodes on the hot path. Set before the first
+	// request.
+	Query *query.Index
 	// CacheSize bounds the decoded-day LRU (default DefaultCacheSize).
 	// Set before the first request.
 	CacheSize int
@@ -97,6 +105,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/days", s.handleDays)
 	mux.HandleFunc("GET /v1/range", s.handleRange)
 	mux.HandleFunc("GET /v1/prefix/{prefix...}", s.handlePrefix)
+	mux.HandleFunc("GET /v1/timeline/{prefix...}", s.handleTimeline)
+	mux.HandleFunc("GET /v1/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/stability", s.handleStability)
 	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -185,9 +196,16 @@ func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	days := s.Archive.Days(family(v6))
+	if len(days) == 0 {
+		// Consistent with /v1/census and /v1/range: a family the
+		// archive does not carry is a miss, not an empty success.
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no %s days archived", family(v6)))
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"family": family(v6),
-		"days":   s.Archive.Days(family(v6)),
+		"days":   days,
 	})
 }
 
@@ -204,18 +222,10 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	from, to := 0, -1
-	if v := r.URL.Query().Get("from"); v != "" {
-		if from, err = strconv.Atoi(v); err != nil || from < 0 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid from %q", v))
-			return
-		}
-	}
-	if v := r.URL.Query().Get("to"); v != "" {
-		if to, err = strconv.Atoi(v); err != nil || to < from {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid to %q", v))
-			return
-		}
+	from, to, err := parseFromTo(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
 	}
 	if len(s.Archive.Days(family(v6))) == 0 {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no %s days archived", family(v6)))
@@ -224,13 +234,40 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
 	if err := s.Archive.Range(family(v6), from, to, func(day int, doc *core.Document) error {
-		return enc.Encode(doc)
+		if err := enc.Encode(doc); err != nil {
+			return err
+		}
+		// Flush per record so long spans stream incrementally instead
+		// of buffering the whole decoded range server-side.
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
 	}); err != nil {
 		// Headers are sent; abort the connection so the client sees a
 		// broken stream instead of a clean EOF on truncated data.
 		panic(http.ErrAbortHandler)
 	}
+}
+
+// parseFromTo extracts the optional ?from=/?to= day window shared by
+// /v1/range and /v1/events: from defaults to 0, to to -1 ("through the
+// last day"), and an inverted window is a client error.
+func parseFromTo(r *http.Request) (from, to int, err error) {
+	from, to = 0, -1
+	if v := r.URL.Query().Get("from"); v != "" {
+		if from, err = strconv.Atoi(v); err != nil || from < 0 {
+			return 0, 0, fmt.Errorf("invalid from %q", v)
+		}
+	}
+	if v := r.URL.Query().Get("to"); v != "" {
+		if to, err = strconv.Atoi(v); err != nil || to < from {
+			return 0, 0, fmt.Errorf("invalid to %q", v)
+		}
+	}
+	return from, to, nil
 }
 
 // parseDayFamily extracts ?day= and ?family= query parameters.
@@ -317,6 +354,142 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		view.GCDCities = e.GCDCities
 	}
 	writeJSON(w, http.StatusOK, view)
+}
+
+// requireQuery rejects longitudinal requests on servers without an
+// attached timeline index.
+func (s *Server) requireQuery(w http.ResponseWriter) bool {
+	if s.Query == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("no timeline index attached to this server (build one with `laces query build-index`)"))
+		return false
+	}
+	return true
+}
+
+// queryErr maps query-layer lookup misses to 404 and everything else
+// (index corruption, I/O) to 500.
+func queryErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, query.ErrUnknownFamily) || errors.Is(err, query.ErrUnknownPrefix) {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeErr(w, http.StatusInternalServerError, err)
+}
+
+// handleTimeline serves one prefix's full longitudinal record from the
+// columnar index — no document is decoded.
+func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
+	if !s.requireQuery(w) {
+		return
+	}
+	_, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	prefix, err := netip.ParsePrefix(r.PathValue("prefix"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
+		return
+	}
+	tl, err := s.Query.Timeline(family(v6), prefix.String())
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
+// handleEvents serves the family-wide longitudinal event scan:
+// onset/offset/flap/site-churn/geo-shift, filtered by kind and day
+// range, answered entirely from the index.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if !s.requireQuery(w) {
+		return
+	}
+	_, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q := r.URL.Query()
+	var kinds []query.EventKind
+	for _, raw := range q["kind"] {
+		// Accept both repeated params and the comma-separated form the
+		// CLI teaches (-kind onset,flap).
+		for _, one := range strings.Split(raw, ",") {
+			k, err := query.ParseEventKind(strings.TrimSpace(one))
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+			kinds = append(kinds, k)
+		}
+	}
+	from, to, err := parseFromTo(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	opts := query.EventOptions{}
+	if v := q.Get("hysteresis"); v != "" {
+		if opts.Hysteresis, err = strconv.Atoi(v); err != nil || opts.Hysteresis < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid hysteresis %q", v))
+			return
+		}
+	}
+	limit := 0
+	if v := q.Get("limit"); v != "" {
+		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
+			return
+		}
+	}
+	events, err := s.Query.Events(family(v6), kinds, from, to, opts)
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	// count is the full match count; limit bounds the body to the most
+	// recent events so dashboards polling long archives don't pull the
+	// whole stream every time.
+	total := len(events)
+	if limit > 0 && total > limit {
+		events = events[total-limit:]
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"family": family(v6),
+		"count":  total,
+		"events": events,
+	})
+}
+
+// handleStability serves one prefix's longitudinal stability score.
+func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) {
+	if !s.requireQuery(w) {
+		return
+	}
+	_, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	raw := r.URL.Query().Get("prefix")
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing prefix parameter"))
+		return
+	}
+	prefix, err := netip.ParsePrefix(raw)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
+		return
+	}
+	st, err := s.Query.Stability(family(v6), prefix.String())
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // measureRequest is the on-demand measurement body.

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/query"
 )
 
 var (
@@ -343,5 +345,210 @@ func TestRangeRequiresArchive(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("range without archive: status %d", resp.StatusCode)
+	}
+}
+
+// getCode fetches a path from ts and returns just the status code.
+func getCode(t *testing.T, ts *httptest.Server, path string) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// TestRangeValidation pins the error paths: malformed and negative
+// bounds, and an inverted from/to window.
+func TestRangeValidation(t *testing.T) {
+	_, ts, _ := archiveServer(t)
+	for _, path := range []string{
+		"/v1/range?from=zzz",
+		"/v1/range?from=-1",
+		"/v1/range?to=zzz",
+		"/v1/range?from=4&to=1",
+	} {
+		if code := getCode(t, ts, path); code != http.StatusBadRequest {
+			t.Fatalf("%s: status %d, want 400", path, code)
+		}
+	}
+}
+
+// TestDaysUnknownFamily: a family the archive does not carry is a 404,
+// consistent with /v1/census and /v1/range — not an empty 200 list.
+func TestDaysUnknownFamily(t *testing.T) {
+	_, ts, _ := archiveServer(t) // packs ipv4 only
+	if code := getCode(t, ts, "/v1/days?family=ipv6"); code != http.StatusNotFound {
+		t.Fatalf("days for unarchived family: status %d, want 404", code)
+	}
+	if code := getCode(t, ts, "/v1/days?family=ipx"); code != http.StatusBadRequest {
+		t.Fatalf("days for invalid family: status %d, want 400", code)
+	}
+}
+
+// TestPrefixUnknownPrefix: a well-formed prefix the census never saw
+// answers 200 with in_census=false (documented behaviour; /v1/measure
+// is the live path).
+func TestPrefixUnknownPrefix(t *testing.T) {
+	code, doc := get(t, "/v1/prefix/203.0.113.0/24?day=0")
+	if code != http.StatusOK {
+		t.Fatalf("unknown prefix: status %d", code)
+	}
+	if doc["in_census"] == true {
+		t.Fatalf("unknown prefix claims census membership: %v", doc)
+	}
+}
+
+// TestRangeStreamsIncrementally: the NDJSON writer must flush after
+// every record so long spans reach the client as they decode.
+func TestRangeStreamsIncrementally(t *testing.T) {
+	s, _, _ := archiveServer(t)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/v1/range?from=0&to=5", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("range status %d", rec.Code)
+	}
+	if !rec.Flushed {
+		t.Fatal("range response was never flushed mid-stream")
+	}
+}
+
+// queryServer builds an archive-backed server with a timeline index.
+func queryServer(t *testing.T) (*Server, *httptest.Server) {
+	t.Helper()
+	s, ts, _ := archiveServer(t)
+	ix, err := query.Build(s.Archive, filepath.Join(t.TempDir(), "timeline.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opened, err := query.Open(ix.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { opened.Close() })
+	s.Query = opened
+	return s, ts
+}
+
+// TestTimelineEndpoint serves a prefix timeline from the shared index.
+func TestTimelineEndpoint(t *testing.T) {
+	s, ts := queryServer(t)
+	// Pick a prefix from the archive's first day.
+	doc, err := s.Archive.Document("ipv4", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := doc.Entries[0].Prefix
+
+	resp, err := http.Get(ts.URL + "/v1/timeline/" + prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("timeline status %d", resp.StatusCode)
+	}
+	var tl query.Timeline
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Prefix != prefix || len(tl.Days) != 6 || !tl.Present[0] {
+		t.Fatalf("timeline degenerate: %+v", tl)
+	}
+}
+
+// TestQueryEndpointErrorPaths pins the 400/404 matrix of the three
+// longitudinal endpoints.
+func TestQueryEndpointErrorPaths(t *testing.T) {
+	_, ts := queryServer(t)
+	for path, want := range map[string]int{
+		"/v1/timeline/not-a-prefix":           http.StatusBadRequest,
+		"/v1/timeline/203.0.113.0/24":         http.StatusNotFound, // valid, never in census
+		"/v1/timeline/1.2.3.0/24?family=ipx":  http.StatusBadRequest,
+		"/v1/events?kind=explosion":           http.StatusBadRequest,
+		"/v1/events?kind=onset,explosion":     http.StatusBadRequest,
+		"/v1/events?limit=0":                  http.StatusBadRequest,
+		"/v1/events?from=zzz":                 http.StatusBadRequest,
+		"/v1/events?from=4&to=1":              http.StatusBadRequest,
+		"/v1/events?hysteresis=0":             http.StatusBadRequest,
+		"/v1/events?family=ipv6":              http.StatusNotFound, // ipv4-only index
+		"/v1/stability":                       http.StatusBadRequest,
+		"/v1/stability?prefix=banana":         http.StatusBadRequest,
+		"/v1/stability?prefix=203.0.113.0/24": http.StatusNotFound,
+	} {
+		if code := getCode(t, ts, path); code != want {
+			t.Fatalf("%s: status %d, want %d", path, code, want)
+		}
+	}
+	// A server without an index 404s all three.
+	for _, path := range []string{"/v1/timeline/1.2.3.0/24", "/v1/events", "/v1/stability?prefix=1.2.3.0/24"} {
+		resp, err := http.Get(testServer.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Fatalf("%s without index: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestEventsAndStabilityEndpoints exercise the happy paths end to end.
+func TestEventsAndStabilityEndpoints(t *testing.T) {
+	s, ts := queryServer(t)
+	resp, err := http.Get(ts.URL + "/v1/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("events status %d", resp.StatusCode)
+	}
+	var out struct {
+		Family string        `json:"family"`
+		Count  int           `json:"count"`
+		Events []query.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Family != "ipv4" || out.Count != len(out.Events) {
+		t.Fatalf("events envelope: %+v", out)
+	}
+
+	// The comma-separated kind form the CLI teaches works over HTTP
+	// too, and limit bounds the body while count keeps the total.
+	resp3, err := http.Get(ts.URL + "/v1/events?kind=onset,offset,flap,site-churn,geo-shift&limit=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("comma kinds + limit: status %d", resp3.StatusCode)
+	}
+	var limited struct {
+		Count  int           `json:"count"`
+		Events []query.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp3.Body).Decode(&limited); err != nil {
+		t.Fatal(err)
+	}
+	if limited.Count != out.Count || len(limited.Events) > 2 {
+		t.Fatalf("limit envelope: count %d (want %d), %d events in body", limited.Count, out.Count, len(limited.Events))
+	}
+
+	prefix := s.Query.Prefixes("ipv4")[0]
+	resp2, err := http.Get(ts.URL + "/v1/stability?prefix=" + prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var st query.Stability
+	if err := json.NewDecoder(resp2.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if resp2.StatusCode != http.StatusOK || st.Prefix != prefix || st.DaysIndexed != 6 {
+		t.Fatalf("stability: %d %+v", resp2.StatusCode, st)
 	}
 }

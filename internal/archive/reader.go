@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/laces-project/laces/internal/core"
 )
@@ -34,6 +35,12 @@ type Archive struct {
 
 	mu    sync.Mutex
 	cache *LRU[dayKey, *core.Document]
+
+	// decodes counts document materializations (snapshot parses and
+	// delta applications). The query layer's index-only guarantee is
+	// asserted against this counter: answering a timeline from the
+	// columnar index must leave it untouched.
+	decodes atomic.Int64
 }
 
 type dayKey struct {
@@ -178,8 +185,13 @@ func (a *Archive) documentLocked(family string, pos int) (*core.Document, error)
 	return doc, nil
 }
 
+// Decodes reports how many document materializations (snapshot parses
+// plus delta applications) the archive has performed since Open.
+func (a *Archive) Decodes() int64 { return a.decodes.Load() }
+
 // loadSnapshot parses one snapshot file through the streaming reader.
 func (a *Archive) loadSnapshot(rec Record) (*core.Document, error) {
+	a.decodes.Add(1)
 	f, err := os.Open(filepath.Join(a.dir, rec.File))
 	if err != nil {
 		return nil, fmt.Errorf("archive: opening snapshot: %w", err)
@@ -209,6 +221,7 @@ func (a *Archive) applyDelta(prev *core.Document, rec Record) (*core.Document, e
 		// A snapshot interleaved mid-chain simply restarts it.
 		return a.loadSnapshot(rec)
 	}
+	a.decodes.Add(1)
 	b, err := os.ReadFile(filepath.Join(a.dir, rec.File))
 	if err != nil {
 		return nil, fmt.Errorf("archive: reading delta: %w", err)

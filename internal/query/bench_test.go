@@ -1,0 +1,180 @@
+package query
+
+// The acceptance bar of the query layer: on the 120-day reference
+// chain, answering a prefix timeline from the columnar index must beat
+// the decode-every-day archive.Range baseline by ≥10×.
+// BenchmarkQueryTimeline/index vs BenchmarkQueryTimeline/decode-baseline.
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/core"
+)
+
+const (
+	benchDays    = 120
+	benchEntries = 400
+	// benchLookups is the number of distinct prefixes each iteration
+	// resolves — past the timeline LRU when disabled, so the index
+	// path pays its ReadAt every time.
+	benchLookups = 8
+)
+
+var (
+	benchOnce sync.Once
+	benchDir  string
+	benchErr  error
+)
+
+func benchArchive(b *testing.B) string {
+	b.Helper()
+	benchOnce.Do(func() {
+		docs := synthChain(benchDays, benchEntries)
+		dir, err := os.MkdirTemp("", "laces-query-bench-*")
+		if err != nil {
+			benchErr = err
+			return
+		}
+		w, err := archive.Create(dir, archive.Options{SnapshotEvery: 7})
+		if err != nil {
+			benchErr = err
+			return
+		}
+		for i, d := range docs {
+			if err := w.Append(i, d); err != nil {
+				benchErr = err
+				return
+			}
+		}
+		if err := w.Close(); err != nil {
+			benchErr = err
+			return
+		}
+		if _, err := BuildDir(dir); err != nil {
+			benchErr = err
+			return
+		}
+		benchDir = dir
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchDir
+}
+
+// BenchmarkQueryTimeline compares the two ways to answer "what did
+// this prefix do across 120 days": the columnar index row vs decoding
+// every archived day.
+func BenchmarkQueryTimeline(b *testing.B) {
+	dir := benchArchive(b)
+
+	b.Run("index", func(b *testing.B) {
+		ix, err := Open(filepath.Join(dir, IndexFileName))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ix.Close()
+		// A 1-slot cache with rotating prefixes defeats caching: every
+		// lookup decodes its row from disk.
+		ix.SetCacheSize(1)
+		prefixes := ix.Prefixes("ipv4")[:benchLookups]
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, p := range prefixes {
+				tl, err := ix.Timeline("ipv4", p)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if tl.PresentDays() == 0 {
+					b.Fatal("empty timeline")
+				}
+			}
+		}
+	})
+
+	b.Run("decode-baseline", func(b *testing.B) {
+		a, err := archive.Open(dir)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ix, err := Open(filepath.Join(dir, IndexFileName))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ix.Close()
+		prefixes := ix.Prefixes("ipv4")[:benchLookups]
+		want := make(map[string]bool, len(prefixes))
+		for _, p := range prefixes {
+			want[p] = true
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			present := 0
+			err := a.Range("ipv4", 0, -1, func(day int, doc *core.Document) error {
+				for j := range doc.Entries {
+					if want[doc.Entries[j].Prefix] {
+						present++
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if present == 0 {
+				b.Fatal("empty decode")
+			}
+		}
+	})
+}
+
+// BenchmarkQueryEvents times the family-wide event scan — every
+// indexed prefix's full timeline — against the same decode baseline.
+func BenchmarkQueryEvents(b *testing.B) {
+	dir := benchArchive(b)
+	ix, err := Open(filepath.Join(dir, IndexFileName))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer ix.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		events, err := ix.Events("ipv4", nil, 0, -1, EventOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(events) == 0 {
+			b.Fatal("no events")
+		}
+	}
+}
+
+// BenchmarkIndexBuild times the one streaming pass that materializes
+// the index from the archive.
+func BenchmarkIndexBuild(b *testing.B) {
+	dir := benchArchive(b)
+	a, err := archive.Open(dir)
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := filepath.Join(b.TempDir(), "bench.idx")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := Build(a, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Bytes), "index_bytes")
+			b.ReportMetric(float64(res.Bytes)/float64(res.Prefixes), "bytes/prefix")
+		}
+	}
+}

@@ -1,0 +1,282 @@
+package query
+
+import (
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/core"
+)
+
+// rowBuilder accumulates one prefix's column during the build pass.
+type rowBuilder struct {
+	prefix string
+	origin uint32
+
+	// Flag bitmaps over day positions.
+	present, candidate, gcdMeasured, gcdAnycast []byte
+	icmp, tcp, dns                              []byte
+	partial, globalBGP, fromFeedback            []byte
+
+	// Series over present days, in day order.
+	sites, receivers, vps []uint64
+	cities                []uint32
+}
+
+func newRowBuilder(prefix string, nDays int) *rowBuilder {
+	n := bitmapLen(nDays)
+	return &rowBuilder{
+		prefix:  prefix,
+		present: make([]byte, n), candidate: make([]byte, n),
+		gcdMeasured: make([]byte, n), gcdAnycast: make([]byte, n),
+		icmp: make([]byte, n), tcp: make([]byte, n), dns: make([]byte, n),
+		partial: make([]byte, n), globalBGP: make([]byte, n), fromFeedback: make([]byte, n),
+	}
+}
+
+// bitmaps returns the row's bitmaps in their serialized order — the one
+// contract decodeRow mirrors.
+func (rb *rowBuilder) bitmaps() [][]byte {
+	return [][]byte{
+		rb.present, rb.candidate, rb.gcdMeasured, rb.gcdAnycast,
+		rb.icmp, rb.tcp, rb.dns,
+		rb.partial, rb.globalBGP, rb.fromFeedback,
+	}
+}
+
+func (rb *rowBuilder) add(pos int, e *core.DocumentEntry) {
+	setBit(rb.present, pos)
+	rb.origin = e.OriginASN
+	if len(e.ACProtocols) > 0 {
+		setBit(rb.candidate, pos)
+	}
+	for _, p := range e.ACProtocols {
+		switch p {
+		case "ICMP":
+			setBit(rb.icmp, pos)
+		case "TCP":
+			setBit(rb.tcp, pos)
+		case "DNS":
+			setBit(rb.dns, pos)
+		}
+	}
+	if e.GCDMeasured {
+		setBit(rb.gcdMeasured, pos)
+	}
+	if e.GCDAnycast {
+		setBit(rb.gcdAnycast, pos)
+	}
+	if e.PartialAnycast {
+		setBit(rb.partial, pos)
+	}
+	if e.GlobalBGP {
+		setBit(rb.globalBGP, pos)
+	}
+	if e.FromFeedback {
+		setBit(rb.fromFeedback, pos)
+	}
+	rb.sites = append(rb.sites, uint64(e.GCDSites))
+	rb.receivers = append(rb.receivers, uint64(e.MaxReceivers))
+	rb.vps = append(rb.vps, uint64(e.GCDVPs))
+	rb.cities = append(rb.cities, cityHash(e.GCDCities))
+}
+
+// encode serializes the row record.
+func (rb *rowBuilder) encode(w *bufWriter) {
+	for _, bm := range rb.bitmaps() {
+		w.b = append(w.b, bm...)
+	}
+	for _, s := range rb.sites {
+		w.uvarint(s)
+	}
+	for _, s := range rb.receivers {
+		w.uvarint(s)
+	}
+	for _, s := range rb.vps {
+		w.uvarint(s)
+	}
+	for _, c := range rb.cities {
+		w.u32(c)
+	}
+}
+
+// famBuilder accumulates one family's section.
+type famBuilder struct {
+	family string
+	days   []int
+	// Per-day aggregate columns.
+	entries, g, m, added, removed []uint32
+	rows                          map[string]*rowBuilder
+}
+
+// BuildResult summarises one index build.
+type BuildResult struct {
+	Path     string
+	Families int
+	// Days counts indexed day-files summed across families (a 120-day
+	// dual-family archive indexes 240).
+	Days     int
+	Prefixes int
+	// Bytes is the written index file size; SourceBytes the archive's
+	// stored size it summarises — the pair is the index's footprint
+	// ledger.
+	Bytes       int64
+	SourceBytes int64
+}
+
+// Build makes one streaming pass over every family of the archive and
+// writes the columnar prefix-timeline index to path. Building decodes
+// each day exactly once (via archive.Range); answering queries
+// afterwards decodes none. The write is atomic: the index appears at
+// path complete and CRC'd, or not at all.
+func Build(a *archive.Archive, path string) (*BuildResult, error) {
+	var fams []*famBuilder
+	for _, family := range a.Families() {
+		fb := &famBuilder{family: family, days: a.Days(family), rows: make(map[string]*rowBuilder)}
+		pos := make(map[int]int, len(fb.days))
+		for i, d := range fb.days {
+			pos[d] = i
+		}
+		prev := make(map[string]bool)
+		err := a.Range(family, 0, -1, func(day int, doc *core.Document) error {
+			p := pos[day]
+			cur := make(map[string]bool, len(doc.Entries))
+			var added uint32
+			for i := range doc.Entries {
+				e := &doc.Entries[i]
+				cur[e.Prefix] = true
+				if p > 0 && !prev[e.Prefix] {
+					added++
+				}
+				rb := fb.rows[e.Prefix]
+				if rb == nil {
+					rb = newRowBuilder(e.Prefix, len(fb.days))
+					fb.rows[e.Prefix] = rb
+				}
+				rb.add(p, e)
+			}
+			var removed uint32
+			if p > 0 {
+				for pfx := range prev {
+					if !cur[pfx] {
+						removed++
+					}
+				}
+			}
+			fb.entries = append(fb.entries, uint32(len(doc.Entries)))
+			fb.g = append(fb.g, uint32(doc.GCount))
+			fb.m = append(fb.m, uint32(doc.MCount))
+			fb.added = append(fb.added, added)
+			fb.removed = append(fb.removed, removed)
+			prev = cur
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("query: indexing %s: %w", family, err)
+		}
+		fams = append(fams, fb)
+	}
+	return writeIndex(a, path, fams)
+}
+
+// BuildDir builds the index for the archive at dir, writing it next to
+// the archive's index.jsonl as timeline.idx.
+func BuildDir(dir string) (*BuildResult, error) {
+	a, err := archive.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return Build(a, filepath.Join(dir, IndexFileName))
+}
+
+// writeIndex serializes the accumulated sections and commits the file.
+func writeIndex(a *archive.Archive, path string, fams []*famBuilder) (*BuildResult, error) {
+	res := &BuildResult{Path: path, Families: len(fams)}
+
+	// Rows first: the TOC needs each row's offset and length.
+	type rowRef struct {
+		prefix string
+		origin uint32
+		off    uint64
+		length uint32
+	}
+	rows := &bufWriter{}
+	refs := make([][]rowRef, len(fams))
+	for fi, fb := range fams {
+		prefixes := make([]string, 0, len(fb.rows))
+		for p := range fb.rows {
+			prefixes = append(prefixes, p)
+		}
+		sort.Slice(prefixes, func(i, j int) bool {
+			return core.ComparePrefixStrings(prefixes[i], prefixes[j]) < 0
+		})
+		res.Days += len(fb.days)
+		res.Prefixes += len(prefixes)
+		for _, p := range prefixes {
+			rb := fb.rows[p]
+			off := uint64(len(rows.b))
+			rb.encode(rows)
+			refs[fi] = append(refs[fi], rowRef{
+				prefix: p, origin: rb.origin,
+				off: off, length: uint32(uint64(len(rows.b)) - off),
+			})
+		}
+	}
+
+	toc := &bufWriter{}
+	toc.u32(uint32(len(fams)))
+	for fi, fb := range fams {
+		toc.str16(fb.family)
+		toc.u32(uint32(len(fb.days)))
+		for _, d := range fb.days {
+			toc.u32(uint32(d))
+		}
+		for _, col := range [][]uint32{fb.entries, fb.g, fb.m, fb.added, fb.removed} {
+			for _, v := range col {
+				toc.u32(v)
+			}
+		}
+		toc.u32(uint32(len(refs[fi])))
+		for _, ref := range refs[fi] {
+			toc.str16(ref.prefix)
+			toc.u32(ref.origin)
+			toc.u64(ref.off)
+			toc.u32(ref.length)
+		}
+	}
+
+	h := header{
+		version: Version,
+		tocLen:  uint32(len(toc.b)),
+		rowsLen: uint64(len(rows.b)),
+		tocCRC:  crc32.Checksum(toc.b, castagnoli),
+		rowsCRC: crc32.Checksum(rows.b, castagnoli),
+	}
+
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return nil, fmt.Errorf("query: creating index: %w", err)
+	}
+	defer os.Remove(tmp)
+	for _, b := range [][]byte{h.encode(), toc.b, rows.b} {
+		if _, err := f.Write(b); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("query: writing index: %w", err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return nil, fmt.Errorf("query: closing index: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return nil, fmt.Errorf("query: committing index: %w", err)
+	}
+	res.Bytes = int64(headerLen + len(toc.b) + len(rows.b))
+	for _, st := range a.Stats() {
+		res.SourceBytes += st.StoredBytes
+	}
+	return res, nil
+}

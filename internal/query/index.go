@@ -1,0 +1,433 @@
+// Package query is the longitudinal query engine over the census
+// archive (§7, Fig 9): the questions the paper's longitudinal pillar
+// exists to answer — how long does a prefix stay anycast, when do
+// deployments appear, disappear or flap, how do site counts churn —
+// answered without touching full-day documents on the hot path.
+//
+// It has two halves. The indexer (Build) makes one streaming pass over
+// an archive and materializes a compact columnar prefix-timeline index
+// on disk next to index.jsonl: per prefix a presence bitmap over the
+// indexed days, per-day anycast-based and GCD verdict bits, protocol
+// bits, and site-count / receiver / VP / geo-signature series; per day
+// the aggregate census counts and membership churn. The query layer
+// (Index) answers Timeline, Events (onset / offset / flap / site-churn
+// / geo-shift, with hysteresis), Stability scoring and aggregate Series
+// from the index alone — document decode happens only when a caller
+// explicitly asks for full entries (FullEntries), and the archive's
+// decode counter proves it.
+package query
+
+import (
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"slices"
+	"sync"
+
+	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/core"
+)
+
+// DefaultCacheSize bounds the Index's decoded-timeline LRU.
+const DefaultCacheSize = 64
+
+// Errors the query layer distinguishes for its HTTP mapping: unknown
+// names are the caller's lookup miss (404), anything else is an index
+// integrity or I/O failure.
+var (
+	ErrUnknownFamily = errors.New("family not indexed")
+	ErrUnknownPrefix = errors.New("prefix not indexed")
+)
+
+// prefixRef is one TOC directory entry: where a prefix's row record
+// lives in the rows section.
+type prefixRef struct {
+	prefix string
+	origin uint32
+	off    int64
+	length int
+}
+
+// famIndex is one family's in-memory directory.
+type famIndex struct {
+	days []int
+	// Per-day aggregate columns (aligned to days).
+	entries, g, m, added, removed []int
+	prefixes                      []prefixRef
+	byPrefix                      map[string]int
+}
+
+// Index is an opened timeline index: the TOC directory in memory, row
+// records read on demand (ReadAt, no mmap), and a bounded LRU of
+// decoded timelines. Memory stays bounded by the directory plus the
+// LRU no matter how many rows are queried.
+type Index struct {
+	path    string
+	f       *os.File
+	rowsOff int64
+	fams    map[string]*famIndex
+	order   []string // family names, sorted
+
+	arch *archive.Archive // optional: full-entry fallback
+
+	mu    sync.Mutex
+	cache *archive.LRU[tlKey, *Timeline]
+}
+
+type tlKey struct {
+	family string
+	prefix string
+}
+
+// Open loads a timeline index file: it validates the header, checks
+// both section CRCs (the rows section is streamed through a small
+// buffer, never held), and keeps the file handle for on-demand row
+// reads.
+func Open(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("query: %w", err)
+	}
+	hb := make([]byte, headerLen)
+	if _, err := io.ReadFull(f, hb); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("query: reading index header: %w", err)
+	}
+	h, err := decodeHeader(hb)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	// Bound the declared section lengths against the actual file size
+	// before allocating: a bit-flipped header must fail cleanly, not
+	// drive a multi-GiB allocation.
+	if fi, err := f.Stat(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("query: %w", err)
+	} else if want := int64(headerLen) + int64(h.tocLen) + int64(h.rowsLen); want != fi.Size() {
+		f.Close()
+		return nil, fmt.Errorf("query: index sections declare %d bytes but the file holds %d (corrupt header or truncated file)", want, fi.Size())
+	}
+	tocBytes := make([]byte, h.tocLen)
+	if _, err := io.ReadFull(f, tocBytes); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("query: reading index TOC: %w", err)
+	}
+	if crc := crc32.Checksum(tocBytes, castagnoli); crc != h.tocCRC {
+		f.Close()
+		return nil, fmt.Errorf("query: index TOC checksum mismatch (%08x/%08x)", crc, h.tocCRC)
+	}
+	// Stream the rows section once to prove its checksum — O(buffer)
+	// memory however large the section.
+	rowsCRC := crc32.New(castagnoli)
+	n, err := io.Copy(rowsCRC, io.LimitReader(f, int64(h.rowsLen)))
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("query: checksumming index rows: %w", err)
+	}
+	if uint64(n) != h.rowsLen || rowsCRC.Sum32() != h.rowsCRC {
+		f.Close()
+		return nil, fmt.Errorf("query: index rows section corrupt (%d/%d bytes, crc %08x/%08x)",
+			n, h.rowsLen, rowsCRC.Sum32(), h.rowsCRC)
+	}
+
+	ix := &Index{
+		path:    path,
+		f:       f,
+		rowsOff: int64(headerLen) + int64(h.tocLen),
+		fams:    make(map[string]*famIndex),
+		cache:   archive.NewLRU[tlKey, *Timeline](DefaultCacheSize),
+	}
+	r := &bufReader{b: tocBytes}
+	nFams := int(r.u32())
+	for i := 0; i < nFams && r.err == nil; i++ {
+		family := r.str16()
+		nDays := int(r.u32())
+		fam := &famIndex{days: make([]int, nDays), byPrefix: make(map[string]int)}
+		for d := 0; d < nDays; d++ {
+			fam.days[d] = int(r.u32())
+		}
+		for _, col := range []*[]int{&fam.entries, &fam.g, &fam.m, &fam.added, &fam.removed} {
+			*col = make([]int, nDays)
+			for d := 0; d < nDays; d++ {
+				(*col)[d] = int(r.u32())
+			}
+		}
+		nPrefixes := int(r.u32())
+		fam.prefixes = make([]prefixRef, nPrefixes)
+		for p := 0; p < nPrefixes && r.err == nil; p++ {
+			ref := prefixRef{prefix: r.str16(), origin: r.u32()}
+			ref.off = int64(r.u64())
+			ref.length = int(r.u32())
+			fam.prefixes[p] = ref
+			fam.byPrefix[ref.prefix] = p
+		}
+		ix.fams[family] = fam
+		ix.order = append(ix.order, family)
+	}
+	if r.err != nil {
+		f.Close()
+		return nil, r.err
+	}
+	return ix, nil
+}
+
+// OpenDir opens the timeline index of the archive at dir and attaches
+// the archive itself for full-entry fallback queries. It refuses a
+// stale index: one that no longer covers the archive's day list.
+func OpenDir(dir string) (*Index, error) {
+	ix, err := Open(filepath.Join(dir, IndexFileName))
+	if err != nil {
+		return nil, err
+	}
+	a, err := archive.Open(dir)
+	if err != nil {
+		ix.Close()
+		return nil, err
+	}
+	if err := ix.VerifyCoverage(a); err != nil {
+		ix.Close()
+		return nil, err
+	}
+	ix.AttachArchive(a)
+	return ix, nil
+}
+
+// VerifyCoverage checks that the index still describes the archive:
+// every archived family indexed, over exactly the archive's day list.
+// A mismatch means days were appended (or the store regenerated) after
+// the index was built; serving longitudinal answers from it would
+// silently misreport the new days — rebuild with Build/BuildDir.
+func (ix *Index) VerifyCoverage(a *archive.Archive) error {
+	for _, fam := range a.Families() {
+		want, got := a.Days(fam), ix.Days(fam)
+		if !slices.Equal(got, want) {
+			return fmt.Errorf("query: timeline index is stale for %s (%d indexed days, archive has %d) — rebuild it with `laces query build-index`",
+				fam, len(got), len(want))
+		}
+	}
+	return nil
+}
+
+// AttachArchive wires the document store behind full-entry fallback
+// queries (FullEntries). Index-answered queries never touch it.
+func (ix *Index) AttachArchive(a *archive.Archive) { ix.arch = a }
+
+// Archive returns the attached fallback store, if any.
+func (ix *Index) Archive() *archive.Archive { return ix.arch }
+
+// SetCacheSize rebounds the decoded-timeline LRU (minimum 1).
+func (ix *Index) SetCacheSize(n int) {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	ix.cache = archive.NewLRU[tlKey, *Timeline](n)
+}
+
+// Close releases the index file handle.
+func (ix *Index) Close() error {
+	if ix.f == nil {
+		return nil
+	}
+	err := ix.f.Close()
+	ix.f = nil
+	return err
+}
+
+// Families lists the indexed address families in sorted order.
+func (ix *Index) Families() []string { return ix.order }
+
+// Days lists one family's indexed census days in ascending order.
+func (ix *Index) Days(family string) []int {
+	if fam := ix.fams[family]; fam != nil {
+		return fam.days
+	}
+	return nil
+}
+
+// Prefixes returns one family's indexed prefixes in canonical order.
+func (ix *Index) Prefixes(family string) []string {
+	fam := ix.fams[family]
+	if fam == nil {
+		return nil
+	}
+	out := make([]string, len(fam.prefixes))
+	for i, ref := range fam.prefixes {
+		out[i] = ref.prefix
+	}
+	return out
+}
+
+// Timeline is one prefix's full longitudinal record, every column
+// aligned to Days (absent days read false / zero).
+type Timeline struct {
+	Family    string `json:"family"`
+	Prefix    string `json:"prefix"`
+	OriginASN uint32 `json:"origin_asn"`
+	Days      []int  `json:"days"`
+
+	Present      []bool `json:"present"`
+	AnycastBased []bool `json:"anycast_based"`
+	GCDMeasured  []bool `json:"gcd_measured"`
+	GCDAnycast   []bool `json:"gcd_anycast"`
+	ICMP         []bool `json:"icmp"`
+	TCP          []bool `json:"tcp"`
+	DNS          []bool `json:"dns"`
+	Partial      []bool `json:"partial_anycast"`
+	GlobalBGP    []bool `json:"global_bgp"`
+	FromFeedback []bool `json:"from_feedback"`
+
+	Sites     []int    `json:"gcd_sites"`
+	Receivers []int    `json:"anycast_based_vps"`
+	VPs       []int    `json:"gcd_vps"`
+	CityHash  []uint32 `json:"city_hash"`
+}
+
+// PresentDays counts the days the prefix appears in the census.
+func (tl *Timeline) PresentDays() int {
+	n := 0
+	for _, p := range tl.Present {
+		if p {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstPresent returns the first census day carrying the prefix.
+func (tl *Timeline) FirstPresent() (int, bool) {
+	for i, p := range tl.Present {
+		if p {
+			return tl.Days[i], true
+		}
+	}
+	return 0, false
+}
+
+// LastPresent returns the last census day carrying the prefix.
+func (tl *Timeline) LastPresent() (int, bool) {
+	for i := len(tl.Present) - 1; i >= 0; i-- {
+		if tl.Present[i] {
+			return tl.Days[i], true
+		}
+	}
+	return 0, false
+}
+
+// Timeline answers one prefix's timeline from the index alone.
+func (ix *Index) Timeline(family, prefix string) (*Timeline, error) {
+	fam := ix.fams[family]
+	if fam == nil {
+		return nil, fmt.Errorf("query: no %s timelines: %w", family, ErrUnknownFamily)
+	}
+	pos, ok := fam.byPrefix[prefix]
+	if !ok {
+		return nil, fmt.Errorf("query: %s (%s): %w", prefix, family, ErrUnknownPrefix)
+	}
+	key := tlKey{family, prefix}
+	ix.mu.Lock()
+	if tl, ok := ix.cache.Get(key); ok {
+		ix.mu.Unlock()
+		return tl, nil
+	}
+	ix.mu.Unlock()
+	tl, err := ix.loadRow(family, fam, pos)
+	if err != nil {
+		return nil, err
+	}
+	ix.mu.Lock()
+	ix.cache.Put(key, tl)
+	ix.mu.Unlock()
+	return tl, nil
+}
+
+// loadRow reads and decodes one prefix's row record.
+func (ix *Index) loadRow(family string, fam *famIndex, pos int) (*Timeline, error) {
+	ref := fam.prefixes[pos]
+	b := make([]byte, ref.length)
+	if _, err := ix.f.ReadAt(b, ix.rowsOff+ref.off); err != nil {
+		return nil, fmt.Errorf("query: reading row for %s: %w", ref.prefix, err)
+	}
+	return decodeRow(family, ref, fam.days, b)
+}
+
+// decodeRow expands a columnar row record into a Timeline.
+func decodeRow(family string, ref prefixRef, days []int, b []byte) (*Timeline, error) {
+	nDays := len(days)
+	bl := bitmapLen(nDays)
+	if len(b) < 10*bl {
+		return nil, fmt.Errorf("query: row for %s shorter than its bitmaps", ref.prefix)
+	}
+	tl := &Timeline{
+		Family: family, Prefix: ref.prefix, OriginASN: ref.origin, Days: days,
+		Sites:     make([]int, nDays),
+		Receivers: make([]int, nDays),
+		VPs:       make([]int, nDays),
+		CityHash:  make([]uint32, nDays),
+	}
+	cols := []*[]bool{
+		&tl.Present, &tl.AnycastBased, &tl.GCDMeasured, &tl.GCDAnycast,
+		&tl.ICMP, &tl.TCP, &tl.DNS,
+		&tl.Partial, &tl.GlobalBGP, &tl.FromFeedback,
+	}
+	for c, col := range cols {
+		bm := b[c*bl : (c+1)*bl]
+		*col = make([]bool, nDays)
+		for i := 0; i < nDays; i++ {
+			(*col)[i] = getBit(bm, i)
+		}
+	}
+	r := &bufReader{b: b, off: 10 * bl}
+	for _, series := range []*[]int{&tl.Sites, &tl.Receivers, &tl.VPs} {
+		for i := 0; i < nDays; i++ {
+			if tl.Present[i] {
+				(*series)[i] = int(r.uvarint())
+			}
+		}
+	}
+	for i := 0; i < nDays; i++ {
+		if tl.Present[i] {
+			tl.CityHash[i] = r.u32()
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("query: row for %s: %w", ref.prefix, r.err)
+	}
+	return tl, nil
+}
+
+// DayEntry is one full published census row on one day — the fallback
+// result that does require document decoding.
+type DayEntry struct {
+	Day   int                `json:"day"`
+	Entry core.DocumentEntry `json:"entry"`
+}
+
+// FullEntries decodes the prefix's complete published rows for days in
+// [from, to] (to < 0 means through the last day). This is the one
+// query that touches the document store: everything the index carries
+// is answered by Timeline without a single decode.
+func (ix *Index) FullEntries(family, prefix string, from, to int) ([]DayEntry, error) {
+	if ix.arch == nil {
+		return nil, fmt.Errorf("query: no archive attached for full-entry decode")
+	}
+	if _, err := ix.Timeline(family, prefix); err != nil {
+		return nil, err
+	}
+	var out []DayEntry
+	err := ix.arch.Range(family, from, to, func(day int, doc *core.Document) error {
+		for i := range doc.Entries {
+			if doc.Entries[i].Prefix == prefix {
+				out = append(out, DayEntry{Day: day, Entry: doc.Entries[i]})
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

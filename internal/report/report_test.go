@@ -12,6 +12,7 @@ import (
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/query"
 )
 
 var (
@@ -308,5 +309,39 @@ func TestDiffSymmetryProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestChurnAndEvents renders the index-backed longitudinal section and
+// checks the load-bearing lines are present and bounded.
+func TestChurnAndEvents(t *testing.T) {
+	series := []query.SeriesPoint{
+		{Day: 0, Entries: 100, GCDConfirmed: 60, AnycastOnly: 40},
+		{Day: 1, Entries: 101, GCDConfirmed: 61, AnycastOnly: 40, Added: 3, Removed: 2, ChurnRate: 0.0495},
+		{Day: 2, Entries: 99, GCDConfirmed: 60, AnycastOnly: 39, Added: 1, Removed: 3, ChurnRate: 0.0404},
+	}
+	events := []query.Event{
+		{Kind: query.EventOnset, Family: "ipv4", Prefix: "2.0.0.0/24", Day: 1},
+		{Kind: query.EventSiteChurn, Family: "ipv4", Prefix: "10.0.0.0/24", Day: 2, PrevDay: 1, PrevSites: 3, Sites: 5},
+	}
+	var buf bytes.Buffer
+	if err := ChurnAndEvents(&buf, series, events, 2, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"churn per day",
+		"events: 2 total",
+		"onset 1",
+		"site-churn 1",
+		"sites 3 → 5",
+		"day    2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("section missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "day    0") {
+		t.Fatalf("maxDays=2 should have dropped day 0:\n%s", out)
 	}
 }

@@ -46,6 +46,15 @@
 // the diff tooling all serve straight from the store — see the README's
 // "Longitudinal census archive" section.
 //
+// Longitudinal questions — per-prefix timelines, onset/offset/flap and
+// site-churn events, stability scores, daily churn series — are
+// answered by a columnar prefix-timeline index built over the store
+// (see internal/query): one streaming indexing pass, then every query
+// runs from the index alone without decoding a single archived day.
+// BuildCensusIndex / OpenCensusIndex / QueryTimeline are the facade;
+// the README's "Querying the archive" section has the CLI and HTTP
+// tour.
+//
 // # Quick start
 //
 //	world, _ := laces.NewWorld(laces.TestConfig())
@@ -76,6 +85,7 @@ import (
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/query"
 	"github.com/laces-project/laces/internal/report"
 	"github.com/laces-project/laces/internal/traceroute"
 )
@@ -159,6 +169,31 @@ type (
 	// CensusSink consumes finished census days as they complete (an
 	// ArchiveWriter is one; RunLongitudinalInto streams into it).
 	CensusSink = archive.Sink
+)
+
+// Longitudinal query engine types (the columnar prefix-timeline index
+// over a census archive).
+type (
+	// CensusTimelineIndex answers longitudinal queries — timelines,
+	// events, stability, aggregate series — from the columnar index
+	// alone, without decoding archived documents.
+	CensusTimelineIndex = query.Index
+	// PrefixTimeline is one prefix's full longitudinal record.
+	PrefixTimeline = query.Timeline
+	// TimelineEvent is one detected longitudinal event (onset, offset,
+	// flap, site-churn, geo-shift).
+	TimelineEvent = query.Event
+	// TimelineEventKind names an event class.
+	TimelineEventKind = query.EventKind
+	// TimelineEventOptions tunes event detection (hysteresis, site
+	// churn threshold).
+	TimelineEventOptions = query.EventOptions
+	// PrefixStability is one prefix's longitudinal stability score.
+	PrefixStability = query.Stability
+	// CensusSeriesPoint is one day of the aggregate census series.
+	CensusSeriesPoint = query.SeriesPoint
+	// CensusIndexBuild summarises one index build.
+	CensusIndexBuild = query.BuildResult
 )
 
 // Chaos (fault-injection) types.
@@ -304,6 +339,33 @@ func OpenArchiveWriter(dir string, opts CensusArchiveOptions) (*CensusArchiveWri
 
 // OpenArchive opens a census store for reading.
 func OpenArchive(dir string) (*CensusArchive, error) { return archive.Open(dir) }
+
+// BuildCensusIndex makes one streaming pass over the archive at dir
+// and materializes its columnar prefix-timeline index next to the
+// archive's index.jsonl (as timeline.idx).
+func BuildCensusIndex(dir string) (*CensusIndexBuild, error) { return query.BuildDir(dir) }
+
+// OpenCensusIndex opens the timeline index of the archive at dir, with
+// the archive attached for full-entry fallback queries.
+func OpenCensusIndex(dir string) (*CensusTimelineIndex, error) { return query.OpenDir(dir) }
+
+// QueryTimeline answers one prefix's longitudinal timeline from the
+// index alone — no archived document is decoded.
+func QueryTimeline(ix *CensusTimelineIndex, family, prefix string) (*PrefixTimeline, error) {
+	return ix.Timeline(family, prefix)
+}
+
+// QueryEvents scans a family's timelines for longitudinal events of
+// the given kinds (nil means all) with effect days in [from, to]
+// (to < 0: through the last indexed day), using default hysteresis.
+func QueryEvents(ix *CensusTimelineIndex, family string, kinds []TimelineEventKind, from, to int) ([]TimelineEvent, error) {
+	return ix.Events(family, kinds, from, to, TimelineEventOptions{})
+}
+
+// QueryStability scores one prefix's longitudinal steadiness.
+func QueryStability(ix *CensusTimelineIndex, family, prefix string) (*PrefixStability, error) {
+	return ix.Stability(family, prefix)
+}
 
 // Traceroute measures the TTL-based forward path from a vantage point to
 // a hitlist target at a point on the census timeline.

@@ -193,3 +193,55 @@ func TestFacadeArchive(t *testing.T) {
 	}
 	_ = w2.Close()
 }
+
+// TestFacadeQueryEngine exercises the longitudinal query surface:
+// archive a run, build the timeline index, and answer timeline /
+// events / stability queries without decoding archived days.
+func TestFacadeQueryEngine(t *testing.T) {
+	world := facadeWorld(t)
+	dir := t.TempDir()
+	w, err := laces.CreateArchive(dir, laces.CensusArchiveOptions{SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := laces.RunLongitudinalInto(world, 4, 1, w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	res, err := laces.BuildCensusIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Families != 2 || res.Prefixes == 0 {
+		t.Fatalf("index build degenerate: %+v", res)
+	}
+	ix, err := laces.OpenCensusIndex(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ix.Close()
+	prefix := ix.Prefixes("ipv4")[0]
+	tl, err := laces.QueryTimeline(ix, "ipv4", prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tl.Days) != 4 || tl.PresentDays() == 0 {
+		t.Fatalf("timeline degenerate: %+v", tl)
+	}
+	if _, err := laces.QueryEvents(ix, "ipv4", nil, 0, -1); err != nil {
+		t.Fatal(err)
+	}
+	st, err := laces.QueryStability(ix, "ipv4", prefix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Score <= 0 || st.Score > 1 {
+		t.Fatalf("stability score out of range: %+v", st)
+	}
+	// The documented index-only guarantee, at the facade level.
+	if n := ix.Archive().Decodes(); n != 0 {
+		t.Fatalf("facade queries decoded %d documents, want 0", n)
+	}
+}
