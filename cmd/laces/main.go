@@ -23,6 +23,9 @@
 //	laces query timeline -archive dir -prefix 1.2.3.0/24
 //	laces query events -archive dir -kind onset -from 10 -to 90
 //	laces query stability -archive dir -prefix 1.2.3.0/24
+//	laces budget show -budget daily:250000,as:5000 -optout optout.txt
+//	laces census -day 100 -budget 250000 -optout optout.txt
+//	laces replay -archive dir -budget 250000
 //
 // The worker and measure subcommands probe the embedded simulated Internet
 // (all components must use the same -seed); the orchestration plane itself
@@ -47,6 +50,7 @@ import (
 	laces "github.com/laces-project/laces"
 	"github.com/laces-project/laces/internal/api"
 	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/client"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
@@ -92,6 +96,8 @@ func main() {
 		err = runReplay(args)
 	case "query":
 		err = runQuery(args)
+	case "budget":
+		err = runBudget(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -121,6 +127,7 @@ Subcommands:
   archive        pack, verify and inspect the delta-encoded census store
   replay         stream an archived census history day by day
   query          longitudinal queries over the archive's timeline index
+  budget         show responsible-probing budgets, opt-outs and demand
 
 Run 'laces <subcommand> -h' for flags.
 `)
@@ -167,14 +174,54 @@ func tangledCities() []string {
 	}
 }
 
+// loadGovernance parses the shared -budget/-optout flag values into the
+// governance knobs.
+func loadGovernance(budgetSpec, optOutPath string) (budget.Budget, *budget.Registry, error) {
+	b, err := budget.ParseBudget(budgetSpec)
+	if err != nil {
+		return budget.Budget{}, nil, err
+	}
+	var reg *budget.Registry
+	if optOutPath != "" {
+		if reg, err = budget.LoadRegistryFile(optOutPath); err != nil {
+			return budget.Budget{}, nil, err
+		}
+	}
+	return b, reg, nil
+}
+
+// printResponsibility renders a census's governance block for the CLI.
+func printResponsibility(r *core.Responsibility) {
+	if r == nil {
+		return
+	}
+	fmt.Printf("responsibility: demanded=%d spent=%d skipped=%d (optout %d / budget %d probing decisions)",
+		r.ProbesDemanded, r.ProbesSpent, r.ProbesSkipped, r.OptOutTargets, r.BudgetTargets)
+	if r.BudgetRemaining >= 0 {
+		fmt.Printf(" remaining=%d", r.BudgetRemaining)
+	}
+	if r.RateSteps > 0 {
+		fmt.Printf(" rate-steps=%d (%.0f targets/s)", r.RateSteps, r.RateEffective)
+	}
+	fmt.Println()
+}
+
 func runOrchestrator(args []string) error {
 	fs := flag.NewFlagSet("orchestrator", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:4000", "TCP listen address")
+	budgetSpec := fs.String("budget", "", "probe budget enforced on the streaming path (e.g. 250000)")
+	optOut := fs.String("optout", "", "opt-out registry file enforced on the streaming path")
 	fs.Parse(args)
 
+	b, reg, err := loadGovernance(*budgetSpec, *optOut)
+	if err != nil {
+		return err
+	}
 	o, err := orchestrator.New(orchestrator.Config{
-		Addr: *listen,
-		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
+		Addr:   *listen,
+		Budget: b,
+		OptOut: reg,
+		Logf:   func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
 	})
 	if err != nil {
 		return err
@@ -259,6 +306,9 @@ func runMeasure(args []string) error {
 	cands := outcome.Candidates()
 	fmt.Printf("results: %d replies from %d workers; %d anycast candidates\n",
 		len(outcome.Results), outcome.Workers, len(cands))
+	if outcome.Skipped > 0 {
+		fmt.Printf("governance: orchestrator withheld %d targets (opt-out/budget)\n", outcome.Skipped)
+	}
 	for _, c := range cands {
 		fmt.Println("  AC:", c)
 	}
@@ -285,8 +335,14 @@ func runCensus(args []string) error {
 	jsonOut := fs.String("json", "", "write census JSON to this file")
 	csvOut := fs.String("csv", "", "write census CSV to this file")
 	archiveDir := fs.String("archive", "", "append the census day to this archive")
+	budgetSpec := fs.String("budget", "", "probe budget (e.g. 250000 or daily:250000,as:5000,prefix:200)")
+	optOut := fs.String("optout", "", "opt-out registry file (prefixes and AS entries)")
 	fs.Parse(args)
 
+	b, reg, err := loadGovernance(*budgetSpec, *optOut)
+	if err != nil {
+		return err
+	}
 	w, err := simWorld(*seed, *scale)
 	if err != nil {
 		return err
@@ -298,6 +354,8 @@ func runCensus(args []string) error {
 	pipe, err := laces.NewPipeline(w, laces.PipelineConfig{
 		Deployment: dep,
 		GCDVPs:     laces.ArkVPs(w),
+		Budget:     b,
+		OptOut:     reg,
 	})
 	if err != nil {
 		return err
@@ -311,6 +369,12 @@ func runCensus(args []string) error {
 		*day, c.Day.Format(time.DateOnly), c.HitlistSize, len(c.Candidates()),
 		c.CountG(), c.CountM(), c.ProbesAnycastStage, c.ProbesGCDStage,
 		time.Since(start).Seconds())
+	printResponsibility(c.Responsibility)
+	if reg != nil {
+		for _, touch := range reg.Touched() {
+			fmt.Printf("optout: %-20s suppressed %d probing decisions / %d probes\n", touch.Entry, touch.Targets, touch.Probes)
+		}
+	}
 	for _, a := range c.Alerts {
 		fmt.Printf("ALERT [%s]: %s\n", a.Kind, a.Message)
 	}
@@ -416,8 +480,14 @@ func runServe(args []string) error {
 	day := fs.Int("day", 0, "census day served as \"today\"")
 	archiveDir := fs.String("archive", "", "serve archived days straight from this delta-encoded store")
 	cache := fs.Int("cache", api.DefaultCacheSize, "decoded-day LRU size")
+	budgetSpec := fs.String("budget", "", "probe budget governing live census computation")
+	optOut := fs.String("optout", "", "opt-out registry file governing live census computation")
 	fs.Parse(args)
 
+	b, reg, err := loadGovernance(*budgetSpec, *optOut)
+	if err != nil {
+		return err
+	}
 	w, err := simWorld(*seed, *scale)
 	if err != nil {
 		return err
@@ -433,6 +503,13 @@ func runServe(args []string) error {
 		return err
 	}
 	srv.CacheSize = *cache
+	if !b.IsZero() || reg != nil {
+		if err := srv.Govern(b, reg); err != nil {
+			return err
+		}
+		fmt.Printf("governing live census runs: budget %s, opt-out entries %d (/v1/responsibility)\n",
+			b.String(), reg.Len())
+	}
 	if *archiveDir != "" {
 		a, err := archive.Open(*archiveDir)
 		if err != nil {
@@ -740,18 +817,47 @@ func runReplay(args []string) error {
 	to := fs.Int("to", -1, "last day (-1: through the end)")
 	diff := fs.Bool("diff", false, "print the day-over-day diff under each day")
 	max := fs.Int("max", 3, "diff examples per change kind (with -diff)")
+	budgetSpec := fs.String("budget", "", "what-if probe budget: flag archived days whose published cost exceeds it")
+	optOut := fs.String("optout", "", "what-if opt-out registry: count published prefixes it would suppress")
 	fs.Parse(args)
 	if *dir == "" {
-		return fmt.Errorf("usage: laces replay -archive <dir> [-family ipv4] [-from N] [-to M] [-diff]")
+		return fmt.Errorf("usage: laces replay -archive <dir> [-family ipv4] [-from N] [-to M] [-diff] [-budget N] [-optout file]")
+	}
+	b, reg, err := loadGovernance(*budgetSpec, *optOut)
+	if err != nil {
+		return err
 	}
 	a, err := archive.Open(*dir)
 	if err != nil {
 		return err
 	}
 	var prev *core.Document
+	var overBudgetDays, optOutHits int
 	err = a.Range(*famFlag, *from, *to, func(day int, doc *core.Document) error {
-		fmt.Printf("day %4d  %s  G=%-6d M=%-6d entries=%-6d probes=%d\n",
-			day, doc.Date, doc.GCount, doc.MCount, len(doc.Entries), doc.ProbesTotal())
+		note := ""
+		if r := doc.Responsibility; r != nil {
+			note = fmt.Sprintf("  governed(spent=%d skipped=%d)", r.ProbesSpent, r.ProbesSkipped)
+			if r.RateSteps > 0 {
+				note += fmt.Sprintf(" rate/%d", 1<<r.RateSteps)
+			}
+		}
+		if b.DailyProbes > 0 && doc.ProbesTotal() > b.DailyProbes {
+			overBudgetDays++
+			note += "  OVER BUDGET"
+		}
+		if reg != nil {
+			for i := range doc.Entries {
+				pfx, err := netip.ParsePrefix(doc.Entries[i].Prefix)
+				if err != nil {
+					continue
+				}
+				if _, hit := reg.Match(pfx, netsim.ASN(doc.Entries[i].OriginASN)); hit {
+					optOutHits++
+				}
+			}
+		}
+		fmt.Printf("day %4d  %s  G=%-6d M=%-6d entries=%-6d probes=%d%s\n",
+			day, doc.Date, doc.GCount, doc.MCount, len(doc.Entries), doc.ProbesTotal(), note)
 		if *diff && prev != nil {
 			if err := report.Diff(prev, doc).Render(os.Stdout, *max); err != nil {
 				return err
@@ -762,7 +868,16 @@ func runReplay(args []string) error {
 		}
 		return nil
 	})
-	return err
+	if err != nil {
+		return err
+	}
+	if b.DailyProbes > 0 {
+		fmt.Printf("what-if budget %s: %d archived days exceed the daily cap\n", b.String(), overBudgetDays)
+	}
+	if reg != nil {
+		fmt.Printf("what-if opt-out (%d entries): %d published prefix-days would be suppressed\n", reg.Len(), optOutHits)
+	}
+	return nil
 }
 
 // runQuery dispatches the longitudinal query tooling.
@@ -934,6 +1049,85 @@ func runQueryStability(args []string) error {
 		st.DaysPresent, st.DaysIndexed, st.GCDDays, st.MeanSites)
 	fmt.Printf("  onsets %d, offsets %d, flaps %d, site changes %d, geo shifts %d\n",
 		st.Onsets, st.Offsets, st.Flaps, st.SiteChanges, st.GeoShifts)
+	return nil
+}
+
+// runBudget dispatches the responsible-probing governance tooling.
+func runBudget(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: laces budget <show> ...")
+	}
+	switch args[0] {
+	case "show":
+		return runBudgetShow(args[1:])
+	default:
+		return fmt.Errorf("laces budget: unknown subcommand %q (show)", args[0])
+	}
+}
+
+// runBudgetShow prints the parsed budget caps, the opt-out registry, and
+// the selected census day's estimated anycast-stage probe demand, so an
+// operator can size a budget (e.g. at the paper's 1/8th operating point)
+// before committing to a run.
+func runBudgetShow(args []string) error {
+	fs := flag.NewFlagSet("budget show", flag.ExitOnError)
+	budgetSpec := fs.String("budget", "", "probe budget to inspect (e.g. 250000 or daily:250000,as:5000)")
+	optOut := fs.String("optout", "", "opt-out registry file to inspect")
+	day := fs.Int("day", 0, "census day for the demand estimate")
+	v6 := fs.Bool("v6", false, "IPv6 hitlist")
+	seed := fs.Uint64("seed", 1, "world seed")
+	scale := fs.String("scale", "test", "world scale: test or default")
+	fs.Parse(args)
+
+	b, reg, err := loadGovernance(*budgetSpec, *optOut)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("budget: %s\n", b.String())
+	if b.DailyProbes > 0 {
+		fmt.Printf("  daily cap:      %d probes\n", b.DailyProbes)
+	}
+	if b.PerASProbes > 0 {
+		fmt.Printf("  per-AS cap:     %d probes\n", b.PerASProbes)
+	}
+	if b.PerPrefixProbes > 0 {
+		fmt.Printf("  per-prefix cap: %d probes\n", b.PerPrefixProbes)
+	}
+	if reg != nil {
+		fmt.Printf("opt-out registry: %d entries\n", reg.Len())
+		for _, e := range reg.Entries() {
+			fmt.Printf("  %s\n", e)
+		}
+	}
+
+	w, err := simWorld(*seed, *scale)
+	if err != nil {
+		return err
+	}
+	dep, err := laces.Tangled(w)
+	if err != nil {
+		return err
+	}
+	hl := laces.HitlistForDay(w, *v6, *day)
+	var total int64
+	fmt.Printf("estimated anycast-stage demand, day %d (%d sites, hitlist %d):\n",
+		*day, dep.NumSites(), hl.Len())
+	for _, proto := range packet.Protocols() {
+		n := 0
+		for _, e := range hl.Entries {
+			if e.Protocols[proto] {
+				n++
+			}
+		}
+		d := int64(n) * int64(dep.NumSites())
+		total += d
+		fmt.Printf("  %-4s  %7d targets × %d sites = %9d probes\n", proto, n, dep.NumSites(), d)
+	}
+	fmt.Printf("  total %d probes (GCD and CHAOS stages add demand proportional to candidates)\n", total)
+	if b.DailyProbes > 0 && total > 0 {
+		fmt.Printf("daily budget covers %.1f%% of the anycast-stage demand (1/8th ≈ %d)\n",
+			100*float64(b.DailyProbes)/float64(total), total/8)
+	}
 	return nil
 }
 

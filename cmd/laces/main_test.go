@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// lacesBin is the compiled CLI under test, built once in TestMain.
+var lacesBin string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "laces-cli")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	lacesBin = filepath.Join(dir, "laces")
+	if out, err := exec.Command("go", "build", "-o", lacesBin, ".").CombinedOutput(); err != nil {
+		os.Stderr.WriteString("building laces CLI: " + err.Error() + "\n" + string(out))
+		os.Exit(1)
+	}
+	os.Exit(m.Run())
+}
+
+// run executes the CLI and returns its exit code and combined output.
+func run(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(lacesBin, args...)
+	out, err := cmd.CombinedOutput()
+	code := 0
+	if err != nil {
+		ee, ok := err.(*exec.ExitError)
+		if !ok {
+			t.Fatalf("laces %v: %v", args, err)
+		}
+		code = ee.ExitCode()
+	}
+	return code, string(out)
+}
+
+// TestCLIUsageAndExitCodes pins the command-line contract: unknown
+// subcommands and flags exit non-zero, and the unknown-subcommand path
+// prints the usage text listing every subcommand.
+func TestCLIUsageAndExitCodes(t *testing.T) {
+	subcommands := []string{
+		"orchestrator", "worker", "measure", "census", "igreedy", "serve",
+		"trace", "diff", "dashboard", "archive", "replay", "query", "budget",
+	}
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantOut  []string
+	}{
+		{"no args", nil, 2, []string{"Subcommands:"}},
+		{"unknown subcommand", []string{"frobnicate"}, 2,
+			[]string{`unknown subcommand "frobnicate"`, "Subcommands:"}},
+		{"help", []string{"help"}, 0, []string{"Subcommands:"}},
+		{"unknown flag", []string{"census", "-no-such-flag"}, 2,
+			[]string{"flag provided but not defined", "Usage of census"}},
+		{"bad budget spec", []string{"census", "-budget", "nonsense"}, 1,
+			[]string{"budget:"}},
+		{"budget without subcommand", []string{"budget"}, 1, []string{"usage: laces budget"}},
+		{"budget unknown subcommand", []string{"budget", "frob"}, 1,
+			[]string{`unknown subcommand "frob"`}},
+		{"archive unknown subcommand", []string{"archive", "frob"}, 1,
+			[]string{`unknown subcommand "frob"`}},
+		{"query unknown subcommand", []string{"query", "frob"}, 1,
+			[]string{`unknown subcommand "frob"`}},
+		{"diff missing args", []string{"diff"}, 1, []string{"usage: laces diff"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			code, out := run(t, c.args...)
+			if code != c.wantCode {
+				t.Fatalf("exit code %d, want %d; output:\n%s", code, c.wantCode, out)
+			}
+			for _, want := range c.wantOut {
+				if !strings.Contains(out, want) {
+					t.Fatalf("output missing %q:\n%s", want, out)
+				}
+			}
+			if c.wantCode != 0 {
+				return
+			}
+		})
+	}
+	// Every advertised subcommand appears in the usage text.
+	_, usage := run(t, "help")
+	for _, sub := range subcommands {
+		if !strings.Contains(usage, "\n  "+sub) {
+			t.Fatalf("usage missing subcommand %q:\n%s", sub, usage)
+		}
+	}
+}
+
+// TestCLIBudgetShow pins the governance inspection command.
+func TestCLIBudgetShow(t *testing.T) {
+	optout := filepath.Join(t.TempDir(), "optout.txt")
+	if err := os.WriteFile(optout, []byte("1.2.3.0/24\nAS64500\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out := run(t, "budget", "show", "-budget", "daily:10000,as:500", "-optout", optout)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	for _, want := range []string{
+		"budget: daily:10000,as:500",
+		"opt-out registry: 2 entries",
+		"1.2.3.0/24", "AS64500",
+		"estimated anycast-stage demand",
+		"daily budget covers",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("budget show missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCLICensusGoverned runs a governed census end to end through the
+// binary and checks the published document carries the responsibility
+// block and the opted-out prefix is absent.
+func TestCLICensusGoverned(t *testing.T) {
+	dir := t.TempDir()
+	optout := filepath.Join(dir, "optout.txt")
+	if err := os.WriteFile(optout, []byte("# nobody\nAS64500\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jsonOut := filepath.Join(dir, "census.json")
+	code, out := run(t, "census", "-day", "0", "-budget", "daily:2000000", "-optout", optout, "-json", jsonOut)
+	if code != 0 {
+		t.Fatalf("exit %d:\n%s", code, out)
+	}
+	if !strings.Contains(out, "responsibility: demanded=") {
+		t.Fatalf("census output missing responsibility summary:\n%s", out)
+	}
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Responsibility *struct {
+			Demanded int64 `json:"probes_demanded"`
+			Spent    int64 `json:"probes_spent"`
+			Skipped  int64 `json:"probes_skipped"`
+		} `json:"responsibility"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Responsibility == nil {
+		t.Fatal("published census lacks the responsibility block")
+	}
+	r := doc.Responsibility
+	if r.Spent+r.Skipped != r.Demanded || r.Demanded == 0 {
+		t.Fatalf("responsibility does not reconcile: %+v", r)
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/gcdmeas"
 	"github.com/laces-project/laces/internal/hitlist"
@@ -60,6 +61,14 @@ type Server struct {
 
 	mu       sync.Mutex
 	pipeline *core.Pipeline
+	// Governance knobs applied to live census computation (Govern).
+	// Governed days are computed on a fresh pipeline per computation so
+	// day documents stay idempotent: a recomputed day (LRU eviction, or
+	// v4 after v6) must not re-charge a persistent ledger and publish a
+	// different document than it did the first time.
+	governed  bool
+	govBudget budget.Budget
+	govOptOut *budget.Registry
 	// cache is the bounded decoded-day LRU, sized on first use so
 	// CacheSize can be set any time before the first request.
 	cache *archive.LRU[censusKey, *cachedDay]
@@ -108,6 +117,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/timeline/{prefix...}", s.handleTimeline)
 	mux.HandleFunc("GET /v1/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/stability", s.handleStability)
+	mux.HandleFunc("GET /v1/responsibility", s.handleResponsibility)
 	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -160,7 +170,23 @@ func (s *Server) census(day int, v6 bool) (*cachedDay, error) {
 		}
 	}
 	if doc == nil {
-		c, err := s.pipeline.RunDaily(day, v6, core.DayOptions{})
+		pipe := s.pipeline
+		if s.governed {
+			// Fresh governed pipeline per computation: each day's ledger
+			// starts empty, so the served document depends only on the day,
+			// never on which days were computed before it.
+			p, err := core.NewPipeline(s.World, core.Config{
+				Deployment: s.Deployment,
+				GCDVPs:     s.GCDVPs,
+				Budget:     s.govBudget,
+				OptOut:     s.govOptOut,
+			})
+			if err != nil {
+				return nil, err
+			}
+			pipe = p
+		}
+		c, err := pipe.RunDaily(day, v6, core.DayOptions{})
 		if err != nil {
 			return nil, err
 		}
@@ -490,6 +516,56 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, st)
+}
+
+// Govern applies responsible-probing governance to the server's live
+// census computation: a probe budget and/or an opt-out registry.
+// Archived days are always served exactly as published (their
+// responsibility block, if any, rides along); governance affects only
+// days the server computes itself, each on a fresh per-day ledger so
+// recomputation is idempotent. Call before the first request.
+func (s *Server) Govern(b budget.Budget, reg *budget.Registry) error {
+	// Validate the governed configuration once up front so a bad knob
+	// fails at startup, not on the first request.
+	if _, err := core.NewPipeline(s.World, core.Config{
+		Deployment: s.Deployment,
+		GCDVPs:     s.GCDVPs,
+		Budget:     b,
+		OptOut:     reg,
+	}); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.governed, s.govBudget, s.govOptOut = true, b, reg
+	return nil
+}
+
+// handleResponsibility serves a census day's R3 governance block: budget
+// spent/remaining, opt-out and budget skip counts, and the adaptive rate
+// steps taken. Days produced without governance carry no block and
+// answer 404.
+func (s *Server) handleResponsibility(w http.ResponseWriter, r *http.Request) {
+	day, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	cd, err := s.census(day, v6)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	if cd.doc.Responsibility == nil {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("census day %d (%s) carries no responsibility block (ran without probing governance)", day, family(v6)))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"day":            day,
+		"family":         family(v6),
+		"responsibility": cd.doc.Responsibility,
+	})
 }
 
 // measureRequest is the on-demand measurement body.

@@ -1,0 +1,220 @@
+package budget
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/laces-project/laces/internal/netsim"
+)
+
+// Registry is the opt-out list: networks that asked not to be measured.
+// It holds exact census prefixes and AS-level entries; every suppression
+// is recorded in an audit trail (Touched) so an operator can show an
+// opted-out network exactly what the census did — and did not — send.
+//
+// Lookups are safe for concurrent use; the audit trail is updated under
+// a mutex, and its deterministic order comes from sorting at read time,
+// not from update order.
+type Registry struct {
+	prefixes map[netip.Prefix]bool
+	asns     map[netsim.ASN]bool
+
+	mu      sync.Mutex
+	touched map[string]*Touch
+}
+
+// Touch is one audit-trail row: an opt-out entry and what it suppressed.
+type Touch struct {
+	// Entry is the registry entry as loaded ("1.2.3.0/24" or "AS64500").
+	Entry string `json:"entry"`
+	// Targets counts probing decisions the entry suppressed — one per
+	// (target, stage-run) presentation, so a target covered by three
+	// protocol runs counts three times.
+	Targets int64 `json:"targets"`
+	// Probes counts the probe demand the entry suppressed.
+	Probes int64 `json:"probes"`
+}
+
+// NewRegistry returns an empty opt-out registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		prefixes: make(map[netip.Prefix]bool),
+		asns:     make(map[netsim.ASN]bool),
+		touched:  make(map[string]*Touch),
+	}
+}
+
+// AddPrefix registers an exact prefix opt-out.
+func (r *Registry) AddPrefix(p netip.Prefix) { r.prefixes[p.Masked()] = true }
+
+// AddAS registers an AS-level opt-out: every prefix originated by the AS
+// is suppressed.
+func (r *Registry) AddAS(a netsim.ASN) { r.asns[a] = true }
+
+// Len returns the number of registered entries (0 for a nil registry).
+func (r *Registry) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.prefixes) + len(r.asns)
+}
+
+// Entries returns the registered entries in deterministic order:
+// prefixes in canonical numeric order, then ASes ascending.
+func (r *Registry) Entries() []string {
+	pfx := make([]netip.Prefix, 0, len(r.prefixes))
+	for p := range r.prefixes {
+		pfx = append(pfx, p)
+	}
+	sort.Slice(pfx, func(i, j int) bool {
+		if c := pfx[i].Addr().Compare(pfx[j].Addr()); c != 0 {
+			return c < 0
+		}
+		return pfx[i].Bits() < pfx[j].Bits()
+	})
+	asns := make([]netsim.ASN, 0, len(r.asns))
+	for a := range r.asns {
+		asns = append(asns, a)
+	}
+	sort.Slice(asns, func(i, j int) bool { return asns[i] < asns[j] })
+	out := make([]string, 0, len(pfx)+len(asns))
+	for _, p := range pfx {
+		out = append(out, p.String())
+	}
+	for _, a := range asns {
+		out = append(out, fmt.Sprintf("AS%d", a))
+	}
+	return out
+}
+
+// Match reports whether a (prefix, origin) pair is opted out, returning
+// the matching entry. Exact-prefix entries win over AS entries so the
+// audit trail names the most specific opt-out.
+func (r *Registry) Match(pfx netip.Prefix, origin netsim.ASN) (string, bool) {
+	if r == nil {
+		return "", false
+	}
+	if r.prefixes[pfx.Masked()] {
+		return pfx.Masked().String(), true
+	}
+	if r.asns[origin] {
+		return fmt.Sprintf("AS%d", origin), true
+	}
+	return "", false
+}
+
+// MatchAddr reports whether an address falls inside any opted-out prefix
+// — the lookup the orchestrator's streaming path uses, where targets are
+// bare addresses with no origin information. Registries are small
+// (operator-maintained), so a linear scan is fine.
+func (r *Registry) MatchAddr(addr netip.Addr) (string, bool) {
+	if r == nil {
+		return "", false
+	}
+	for p := range r.prefixes {
+		if p.Contains(addr) {
+			return p.String(), true
+		}
+	}
+	return "", false
+}
+
+// touch records a suppression in the audit trail.
+func (r *Registry) touch(entry string, probes int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t := r.touched[entry]
+	if t == nil {
+		t = &Touch{Entry: entry}
+		r.touched[entry] = t
+	}
+	t.Targets++
+	t.Probes += probes
+}
+
+// Touched returns the audit trail: every registry entry that suppressed
+// probing, with how much it suppressed, in deterministic entry order.
+func (r *Registry) Touched() []Touch {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Touch, 0, len(r.touched))
+	for _, t := range r.touched {
+		out = append(out, *t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Entry < out[j].Entry })
+	return out
+}
+
+// LoadRegistry parses an opt-out file. One entry per line; # starts a
+// comment. Accepted forms:
+//
+//	1.2.3.0/24           exact prefix
+//	prefix 1.2.3.0/24    exact prefix, keyword form
+//	AS64500              origin AS
+//	as 64500             origin AS, keyword form
+func LoadRegistry(rd io.Reader) (*Registry, error) {
+	r := NewRegistry()
+	sc := bufio.NewScanner(rd)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := sc.Text()
+		if i := strings.IndexByte(text, '#'); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		fields := strings.Fields(text)
+		token := fields[0]
+		if len(fields) == 2 {
+			switch strings.ToLower(fields[0]) {
+			case "prefix", "as":
+				token = fields[1]
+			default:
+				return nil, fmt.Errorf("budget: opt-out line %d: unknown keyword %q", line, fields[0])
+			}
+		} else if len(fields) > 2 {
+			return nil, fmt.Errorf("budget: opt-out line %d: too many fields", line)
+		}
+		if p, err := netip.ParsePrefix(token); err == nil {
+			r.AddPrefix(p)
+			continue
+		}
+		num := strings.TrimPrefix(strings.ToUpper(token), "AS")
+		if n, err := strconv.ParseUint(num, 10, 32); err == nil {
+			r.AddAS(netsim.ASN(n))
+			continue
+		}
+		return nil, fmt.Errorf("budget: opt-out line %d: %q is neither a prefix nor an AS", line, token)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("budget: reading opt-out registry: %w", err)
+	}
+	return r, nil
+}
+
+// LoadRegistryFile loads an opt-out registry from a file path.
+func LoadRegistryFile(path string) (*Registry, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("budget: opening opt-out registry: %w", err)
+	}
+	defer f.Close()
+	r, err := LoadRegistry(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}

@@ -65,6 +65,13 @@ const (
 	// per-(target, worker, day) keying — sustained target-side rate
 	// limiting rather than random loss.
 	Throttle
+	// AbuseComplaint models a network operator complaining about being
+	// probed. It never touches individual probes: the governance layer
+	// (internal/budget) counts the complaints active on a census day via
+	// Engine.ComplaintsOn and steps the effective probing rate down one
+	// power of two per complaint — the paper's 1/8th-rate operating
+	// point (§5.5.2) after three.
+	AbuseComplaint
 )
 
 // String names the kind as used in scenario catalogs.
@@ -86,6 +93,8 @@ func (k Kind) String() string {
 		return "clock-skew"
 	case Throttle:
 		return "throttle"
+	case AbuseComplaint:
+		return "abuse-complaint"
 	default:
 		return fmt.Sprintf("Kind(%d)", uint8(k))
 	}

@@ -184,7 +184,7 @@ func (e *Engine) ImpairUnicast(vp netsim.VP, tg *netsim.Target, proto packet.Pro
 			continue
 		}
 		switch c.kind {
-		case SiteOutage, ClockSkew, RouteFlap:
+		case SiteOutage, ClockSkew, RouteFlap, AbuseComplaint:
 			continue
 		}
 		if !c.matchCommon(day, tg, proto, e.contOf) {
@@ -243,6 +243,21 @@ func (e *Engine) MissingWorkers(d *netsim.Deployment, day int) map[int]bool {
 		}
 	}
 	return out
+}
+
+// ComplaintsOn counts the AbuseComplaint impairments active on census
+// day `day` — the signal the governance layer's adaptive rate controller
+// (budget.StepRate) consumes. Complaints never impair individual probes;
+// they only step the day's effective probing rate down.
+func (e *Engine) ComplaintsOn(day int) int {
+	n := 0
+	for i := range e.comp {
+		c := &e.comp[i]
+		if c.kind == AbuseComplaint && (c.allDays || c.days.Contains(day)) {
+			n++
+		}
+	}
+	return n
 }
 
 // ---------------------------------------------------------------------------

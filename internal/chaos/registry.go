@@ -16,6 +16,7 @@ const (
 	ScenarioFlappingUpstream = "flapping-upstream"
 	ScenarioClockSkew        = "clock-skew"
 	ScenarioReplyThrottle    = "reply-throttle"
+	ScenarioAbuseComplaints  = "abuse-complaints"
 )
 
 // Builtins returns the shipped scenario suite. They are registered at
@@ -67,6 +68,15 @@ func Builtins() []Scenario {
 			Description: "two workers probe with clocks two hours fast, landing in wrong churn epochs",
 			Impairments: []Impairment{
 				{Kind: ClockSkew, Skew: 2 * time.Hour, Scope: Scope{Workers: []int{7, 19}}},
+			},
+		},
+		{
+			Name:        ScenarioAbuseComplaints,
+			Description: "operator complaints arrive in waves: one halving for a month, three (the 1/8th-rate floor) for a week",
+			Impairments: []Impairment{
+				{Kind: AbuseComplaint, Scope: Scope{Days: Days(160, 190)}},
+				{Kind: AbuseComplaint, Scope: Scope{Days: Days(176, 183)}},
+				{Kind: AbuseComplaint, Scope: Scope{Days: Days(176, 183)}},
 			},
 		},
 		{

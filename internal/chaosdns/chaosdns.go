@@ -12,6 +12,7 @@ package chaosdns
 import (
 	"time"
 
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
@@ -40,11 +41,21 @@ func (o Observation) MultiRecord() bool { return len(o.Records) > 1 }
 // the deployment and collects the identity records. The entry loop is
 // sharded across `parallelism` goroutines (<= 0 means GOMAXPROCS, 1 is
 // sequential); per-target observations are independent, so the returned
-// map is identical at every worker count.
-func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time, parallelism int) map[int]Observation {
+// map is identical at every worker count. The gate, when non-nil, is the
+// responsible-probing admission pre-pass (one budget unit per deployment
+// site per entry, decided sequentially in hitlist order); denied entries
+// are skipped and accounted in the returned Usage.
+func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time, gate *budget.Gate, parallelism int) (map[int]Observation, budget.Usage) {
 	entries := hl.FilterProtocol(packet.DNS)
 	targets := w.Targets(hl.V6)
-	all, _ := par.Gather(len(entries), parallelism, func(start, end int, sh *par.Shard[Observation]) {
+	var usage budget.Usage
+	if gate != nil {
+		perEntry := int64(d.NumSites())
+		entries = budget.Filter(gate, entries, &usage, func(e hitlist.Entry) (*netsim.Target, int64) {
+			return &targets[e.TargetID], perEntry
+		})
+	}
+	all, probes := par.Gather(len(entries), parallelism, func(start, end int, sh *par.Shard[Observation]) {
 		for _, e := range entries[start:end] {
 			tg := &targets[e.TargetID]
 			obs := Observation{TargetID: e.TargetID, Records: make(map[string]bool)}
@@ -55,6 +66,7 @@ func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.
 					Gap:  time.Second,
 					Seq:  uint64(e.TargetID),
 				}
+				sh.Count++
 				del, ok := w.ProbeAnycast(d, wk, tg, ctx)
 				if !ok {
 					continue
@@ -71,11 +83,12 @@ func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.
 			sh.Out = append(sh.Out, obs)
 		}
 	})
+	gate.Observe(probes)
 	out := make(map[int]Observation, len(entries))
 	for _, obs := range all {
 		out[obs.TargetID] = obs
 	}
-	return out
+	return out, usage
 }
 
 // Stats summarises a CHAOS census the way Appendix C reports it.

@@ -28,7 +28,8 @@ func mustCensus() map[int]Observation {
 	if err != nil {
 		panic(err)
 	}
-	return Census(testWorld, d, testHL, netsim.DayTime(40), 1)
+	obs, _ := Census(testWorld, d, testHL, netsim.DayTime(40), nil, 1)
+	return obs
 }
 
 func TestCensusCoversDNSHitlist(t *testing.T) {

@@ -16,9 +16,9 @@ func TestCensusParallelByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	at := netsim.DayTime(40)
-	seq := Census(testWorld, d, testHL, at, 1)
+	seq, _ := Census(testWorld, d, testHL, at, nil, 1)
 	for _, workers := range []int{0, 2, 5, 16} {
-		par := Census(testWorld, d, testHL, at, workers)
+		par, _ := Census(testWorld, d, testHL, at, nil, workers)
 		if !reflect.DeepEqual(seq, par) {
 			t.Fatalf("parallelism=%d: CHAOS census diverges from sequential run", workers)
 		}

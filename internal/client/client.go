@@ -29,6 +29,9 @@ type Client struct {
 type Outcome struct {
 	Results []wire.Result
 	Workers int
+	// Skipped counts targets the orchestrator's responsible-probing
+	// ledger refused to stream (opt-out or budget).
+	Skipped int64
 }
 
 // ReceiverSets groups results by target and returns the distinct receiving
@@ -118,6 +121,7 @@ func (c *Client) Run(ctx context.Context, def wire.MeasurementDef, targets []net
 				return nil, err
 			}
 			out.Workers = comp.Workers
+			out.Skipped = comp.Skipped
 			return out, nil
 		case wire.MsgError:
 			em, _ := wire.Decode[wire.ErrorMsg](raw)

@@ -18,6 +18,7 @@ import (
 	"sort"
 	"time"
 
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/chaosdns"
 	"github.com/laces-project/laces/internal/gcdmeas"
@@ -117,6 +118,10 @@ type DailyCensus struct {
 	ProbesGCDStage        int64
 	ProbesTracerouteStage int64
 
+	// Responsibility is the governance accounting (budget, opt-outs,
+	// rate feedback); nil when the run had no governance active.
+	Responsibility *Responsibility
+
 	Alerts []Alert
 }
 
@@ -202,6 +207,18 @@ type Config struct {
 	// every worker count for the same (seed, scenario) inputs — see the
 	// README's "Concurrency model" section for the determinism contract.
 	Parallelism int
+	// Budget caps the census's probing (R3 governance): a per-day global
+	// probe cap plus per-origin-AS and per-prefix caps, consulted before
+	// every governed stage probes a target. The zero value means
+	// unlimited — a pipeline with a zero Budget and no opt-outs produces
+	// byte-identical documents to one without governance.
+	Budget budget.Budget
+	// OptOut is the opt-out registry honoured before any budget cap;
+	// nil means none. Takes precedence over OptOutFile.
+	OptOut *budget.Registry
+	// OptOutFile, when set (and OptOut is nil), loads the opt-out
+	// registry from this path at pipeline construction.
+	OptOutFile string
 }
 
 // DayOptions injects per-day conditions (failure modelling, §7). The
@@ -275,7 +292,15 @@ type Pipeline struct {
 
 	feedback [2]map[int]bool // [v4, v6] fed-back target IDs
 	baseline [2][]int        // trailing 𝒢 sizes for monitoring
+
+	// ledger is the probe-budget accountant, nil when the configuration
+	// carries no budget and no opt-outs (the ungoverned fast path).
+	ledger *budget.Ledger
 }
+
+// Ledger exposes the pipeline's probe-budget ledger (nil when the
+// configuration enables no governance) for monitoring and the CLI.
+func (p *Pipeline) Ledger() *budget.Ledger { return p.ledger }
 
 // NewPipeline validates the configuration and prepares a pipeline.
 func NewPipeline(w *netsim.World, cfg Config) (*Pipeline, error) {
@@ -291,7 +316,17 @@ func NewPipeline(w *netsim.World, cfg Config) (*Pipeline, error) {
 	if cfg.Offset == 0 {
 		cfg.Offset = time.Second
 	}
+	if cfg.OptOut == nil && cfg.OptOutFile != "" {
+		reg, err := budget.LoadRegistryFile(cfg.OptOutFile)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		cfg.OptOut = reg
+	}
 	p := &Pipeline{World: w, Cfg: cfg}
+	if !cfg.Budget.IsZero() || cfg.OptOut != nil {
+		p.ledger = budget.NewLedger(cfg.Budget, cfg.OptOut)
+	}
 	p.feedback[0] = make(map[int]bool)
 	p.feedback[1] = make(map[int]bool)
 	return p, nil
@@ -326,14 +361,28 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 
 	// Resolve the day's fault plan: site outages become missing workers
 	// (dead sites neither transmit nor capture), everything else impairs
-	// individual probes through the world hook.
+	// individual probes through the world hook. Abuse complaints never
+	// touch probes — they feed the adaptive rate controller below.
 	missing := dayOpts.MissingWorkers
+	complaints := 0
 	if sc := dayOpts.scenario(); sc != nil {
 		eng := chaos.NewEngine(w, *sc)
 		missing = mergeMissing(missing, eng.MissingWorkers(p.Cfg.Deployment, day))
+		complaints = eng.ComplaintsOn(day)
 		w.SetImpairer(eng)
 		defer w.SetImpairer(nil)
 	}
+
+	// Responsible-probing governance: the admission gate for every
+	// measurement stage, and the complaint-driven rate controller that
+	// steps the effective hitlist rate down in powers of two (floored at
+	// the paper's 1/8th-rate operating point, §5.5.2).
+	gate := p.ledger.Gate(day)
+	baseRate := p.Cfg.Rate
+	if baseRate == 0 {
+		baseRate = manycast.DefaultRate
+	}
+	effRate, rateSteps := budget.StepRate(baseRate, complaints, 0)
 
 	census := &DailyCensus{
 		Day:          start,
@@ -349,18 +398,21 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 	base := manycast.Options{
 		Start:          start,
 		Offset:         p.Cfg.Offset,
-		Rate:           p.Cfg.Rate,
+		Rate:           effRate,
 		MeasurementID:  uint16(day),
 		MissingWorkers: missing,
 		Parallelism:    p.Cfg.Parallelism,
+		Gate:           gate,
 	}
 	results, err := manycast.MultiProtocol(w, p.Cfg.Deployment, hl, base, p.Cfg.Protocols)
 	if err != nil {
 		return nil, fmt.Errorf("core: anycast-based stage: %w", err)
 	}
+	var anycastUsage, gcdUsage budget.Usage
 	targets := w.Targets(v6)
 	for proto, res := range results {
 		census.ProbesAnycastStage += res.ProbesSent
+		anycastUsage.Add(res.Usage)
 		census.ReceiverHist[proto] = res.ReceiverHistogram()
 		for _, obs := range res.Observations {
 			if !obs.IsCandidate() {
@@ -405,6 +457,12 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 			tcpIDs = append(tcpIDs, id)
 		}
 	}
+	// The campaigns' outcomes are order-independent, but the governance
+	// gate's admission is order-sensitive by design (first come, first
+	// charged) — present targets in sorted ID order so the admitted set
+	// never depends on map iteration.
+	sort.Ints(icmpIDs)
+	sort.Ints(tcpIDs)
 	for _, part := range []struct {
 		proto packet.Protocol
 		ids   []int
@@ -419,8 +477,10 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 			Attempts:    p.Cfg.GCDAttempts,
 			Analysis:    igreedy.Options{},
 			Parallelism: p.Cfg.Parallelism,
+			Gate:        gate,
 		})
 		census.ProbesGCDStage += rep.ProbesSent
+		gcdUsage.Add(rep.Usage)
 		for id, out := range rep.Outcomes {
 			e := census.Entries[id]
 			e.GCDMeasured = true
@@ -446,8 +506,9 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 	}
 
 	// Optional stage 4: CHAOS identity annotation (§8 extension).
+	var chaosUsage budget.Usage
 	if p.Cfg.IncludeChaos {
-		p.annotateChaos(census, hl, start)
+		chaosUsage = p.annotateChaos(census, hl, start, gate)
 	}
 
 	// Optional stage 5: traceroute screening of ℳ for global-BGP unicast
@@ -457,6 +518,38 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		if err := p.screenGlobalBGP(census, vps, start.Add(12*time.Hour)); err != nil {
 			return nil, fmt.Errorf("core: global-BGP screening: %w", err)
 		}
+	}
+
+	// Publish the governance block when any governance was active: a
+	// ledger (budget/opt-outs) or complaint-driven rate feedback. With
+	// neither, Responsibility stays nil and the document is byte-for-byte
+	// what an ungoverned pipeline publishes.
+	if p.ledger != nil || rateSteps > 0 {
+		resp := &Responsibility{
+			Anycast:         anycastUsage,
+			GCD:             gcdUsage,
+			Chaos:           chaosUsage,
+			BudgetRemaining: -1,
+			RateSteps:       rateSteps,
+		}
+		if rateSteps > 0 {
+			resp.RateEffective = effRate
+		}
+		if p.ledger != nil {
+			b := p.ledger.Budget()
+			resp.BudgetDailyProbes = b.DailyProbes
+			resp.BudgetPerASProbes = b.PerASProbes
+			resp.BudgetPerPrefixProbes = b.PerPrefixProbes
+			resp.BudgetRemaining = p.ledger.Remaining(day)
+		}
+		total := resp.Total()
+		resp.ProbesDemanded = total.Demanded
+		resp.ProbesSpent = total.Spent
+		resp.ProbesSkipped = total.Skipped
+		resp.OptOutProbes = total.OptOutProbes
+		resp.OptOutTargets = total.OptOutTargets
+		resp.BudgetTargets = total.BudgetTargets
+		census.Responsibility = resp
 	}
 
 	census.Alerts = p.monitor(census)
@@ -532,8 +625,9 @@ func spreadVPs(pool []netsim.VP, n int) []netsim.VP {
 
 // annotateChaos queries RFC 4892 identities for the census's
 // DNS-responsive prefixes from every deployment site and attaches the
-// distinct records to the entries.
-func (p *Pipeline) annotateChaos(census *DailyCensus, hl *hitlist.Hitlist, start time.Time) {
+// distinct records to the entries. It returns the stage's governance
+// accounting (zero when the gate is nil or no entry qualified).
+func (p *Pipeline) annotateChaos(census *DailyCensus, hl *hitlist.Hitlist, start time.Time, gate *budget.Gate) budget.Usage {
 	inCensus := make(map[int]bool, len(census.Entries))
 	for id := range census.Entries {
 		inCensus[id] = true
@@ -545,9 +639,9 @@ func (p *Pipeline) annotateChaos(census *DailyCensus, hl *hitlist.Hitlist, start
 		}
 	}
 	if sub.Len() == 0 {
-		return
+		return budget.Usage{}
 	}
-	obs := chaosdns.Census(p.World, p.Cfg.Deployment, sub, start.Add(9*time.Hour), p.Cfg.Parallelism)
+	obs, usage := chaosdns.Census(p.World, p.Cfg.Deployment, sub, start.Add(9*time.Hour), gate, p.Cfg.Parallelism)
 	for id, o := range obs {
 		if !o.Supported {
 			continue
@@ -558,6 +652,7 @@ func (p *Pipeline) annotateChaos(census *DailyCensus, hl *hitlist.Hitlist, start
 		}
 		sort.Strings(e.ChaosRecords)
 	}
+	return usage
 }
 
 // entry returns (creating if needed) the census entry for a target.

@@ -146,5 +146,9 @@ func (d *Document) DeepCopy() *Document {
 	if d.Entries != nil {
 		out.Entries = slices.Clone(d.Entries)
 	}
+	if d.Responsibility != nil {
+		r := *d.Responsibility
+		out.Responsibility = &r
+	}
 	return &out
 }

@@ -9,6 +9,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"github.com/laces-project/laces/internal/budget"
 )
 
 // DocumentEntry is the JSON schema of one census row, mirroring the
@@ -37,6 +39,51 @@ func (e *DocumentEntry) InG() bool { return e.GCDAnycast }
 // InM reports membership in ℳ as published.
 func (e *DocumentEntry) InM() bool { return len(e.ACProtocols) > 0 && !e.GCDAnycast }
 
+// Responsibility is the published R3 governance block: what the
+// probe-budget ledger, the opt-out registry and the adaptive rate
+// controller did to the census day. All probe figures are in budget
+// units of demand (worst-case transmissions presented to the ledger);
+// the identity ProbesSpent + ProbesSkipped == ProbesDemanded holds
+// exactly — it is the reconciliation audits check. The traceroute
+// screening stage is operator-triggered and outside the ledger.
+type Responsibility struct {
+	// The configured caps (zero = unlimited).
+	BudgetDailyProbes     int64 `json:"budget_daily_probes,omitempty"`
+	BudgetPerASProbes     int64 `json:"budget_per_as_probes,omitempty"`
+	BudgetPerPrefixProbes int64 `json:"budget_per_prefix_probes,omitempty"`
+
+	// Totals across the governed stages.
+	ProbesDemanded int64 `json:"probes_demanded"`
+	ProbesSpent    int64 `json:"probes_spent"`
+	ProbesSkipped  int64 `json:"probes_skipped"`
+	OptOutProbes   int64 `json:"optout_probes,omitempty"`
+	OptOutTargets  int   `json:"optout_targets,omitempty"`
+	BudgetTargets  int   `json:"budget_targets,omitempty"`
+
+	// BudgetRemaining is the unspent global daily budget after the run,
+	// or -1 when the daily cap is unlimited.
+	BudgetRemaining int64 `json:"budget_remaining"`
+
+	// Adaptive rate feedback: halvings taken in response to abuse
+	// complaints and the resulting effective rate (targets/s).
+	RateSteps     int     `json:"rate_steps,omitempty"`
+	RateEffective float64 `json:"rate_effective,omitempty"`
+
+	// Per-stage accounting (each reconciles independently).
+	Anycast budget.Usage `json:"anycast_stage"`
+	GCD     budget.Usage `json:"gcd_stage"`
+	Chaos   budget.Usage `json:"chaos_stage"`
+}
+
+// Total sums the per-stage usages (the block's headline figures).
+func (r *Responsibility) Total() budget.Usage {
+	var u budget.Usage
+	u.Add(r.Anycast)
+	u.Add(r.GCD)
+	u.Add(r.Chaos)
+	return u
+}
+
 // Document is the JSON schema of one daily census file — the unit the
 // public repository carries and downstream consumers (the dashboard, the
 // diff tool) operate on. Entries must stay the last field: the streaming
@@ -56,6 +103,11 @@ type Document struct {
 	ProbesAnycastStage    int64 `json:"probes_anycast_stage"`
 	ProbesGCDStage        int64 `json:"probes_gcd_stage"`
 	ProbesTracerouteStage int64 `json:"probes_traceroute_stage"`
+
+	// Responsibility is the governance block — nil (omitted) when the
+	// census ran without a budget, opt-out registry or rate feedback, so
+	// ungoverned documents stay byte-identical to earlier releases.
+	Responsibility *Responsibility `json:"responsibility,omitempty"`
 
 	Entries []DocumentEntry `json:"entries"`
 }
@@ -114,6 +166,10 @@ func (c *DailyCensus) Document() *Document {
 		ProbesAnycastStage:    c.ProbesAnycastStage,
 		ProbesGCDStage:        c.ProbesGCDStage,
 		ProbesTracerouteStage: c.ProbesTracerouteStage,
+	}
+	if c.Responsibility != nil {
+		r := *c.Responsibility
+		doc.Responsibility = &r
 	}
 	for _, e := range c.sortedEntries() {
 		if !e.IsCandidate() && !e.GCDAnycast && !e.PartialAnycast {

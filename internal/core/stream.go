@@ -241,6 +241,8 @@ func (dr *DocumentReader) headerField(key string) error {
 		dst = &dr.hdr.ProbesGCDStage
 	case "probes_traceroute_stage":
 		dst = &dr.hdr.ProbesTracerouteStage
+	case "responsibility":
+		dst = &dr.hdr.Responsibility
 	default:
 		var skip json.RawMessage
 		dst = &skip

@@ -393,7 +393,7 @@ type Fig12Result struct {
 func (e *Env) Fig12() (*Fig12Result, error) {
 	hl := hitlist.ForDay(e.World, false, dayChaos)
 	at := netsim.DayTime(dayChaos)
-	chaos := chaosdns.Census(e.World, e.Tangled, hl, at, 0)
+	chaos, _ := chaosdns.Census(e.World, e.Tangled, hl, at, nil, 0)
 
 	// Anycast-based receiving counts (DNS probing).
 	res, err := manycast.Run(e.World, e.Tangled, hl, manycast.Options{
@@ -506,7 +506,7 @@ func (e *Env) PartialAnycastSweep() (*SweepResult, error) {
 			ids = append(ids, tg.ID)
 		}
 	}
-	outcomes, probes := gcdmeas.SweepAddrs(e.World, ids, false, gcdmeas.DefaultSweepOffsets(),
+	outcomes, probes, _ := gcdmeas.SweepAddrs(e.World, ids, false, gcdmeas.DefaultSweepOffsets(),
 		gcdmeas.Campaign{VPs: vps, Proto: packet.ICMP, At: netsim.DayTime(daySweep)})
 	res := &SweepResult{Probes: probes}
 	for _, o := range outcomes {

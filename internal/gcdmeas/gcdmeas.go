@@ -9,6 +9,7 @@ package gcdmeas
 import (
 	"time"
 
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/igreedy"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
@@ -29,6 +30,13 @@ type Campaign struct {
 	// (<= 0 means GOMAXPROCS, 1 is sequential); results are byte-identical
 	// at every worker count.
 	Parallelism int
+	// Gate is the responsible-probing admission gate (R3 governance),
+	// consulted once per target in list order before the sharded probing
+	// runs. Each target demands VPs × Attempts budget units (the
+	// worst-case transmission count; unresponsive targets send fewer).
+	// Denied targets are skipped and accounted in Report.Usage. A nil
+	// gate admits everything.
+	Gate *budget.Gate
 }
 
 // TargetOutcome is the GCD result for one target.
@@ -45,6 +53,9 @@ type Report struct {
 	Outcomes map[int]TargetOutcome
 	// ProbesSent counts transmitted probes (Table 4 cost accounting).
 	ProbesSent int64
+	// Usage is the governance accounting when Campaign.Gate was set
+	// (zero when ungoverned).
+	Usage budget.Usage
 }
 
 // Anycast returns the set of targets the campaign confirms as anycast.
@@ -67,6 +78,19 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 	}
 	rep := &Report{Outcomes: make(map[int]TargetOutcome, len(targetIDs))}
 	targets := w.Targets(v6)
+
+	// Governance pre-pass: sequential admission in list order keeps the
+	// admitted set independent of Parallelism. Out-of-range IDs are not
+	// demand (the probing loop never probes them either).
+	if c.Gate != nil {
+		perTarget := int64(len(c.VPs)) * int64(attempts)
+		targetIDs = budget.Filter(c.Gate, targetIDs, &rep.Usage, func(id int) (*netsim.Target, int64) {
+			if id < 0 || id >= len(targets) {
+				return nil, 0 // out of scope: the probing loop skips it too
+			}
+			return &targets[id], perTarget
+		})
+	}
 
 	// Sharded execution: each shard owns a contiguous range of the target
 	// list, a private sample buffer and probe counter; outcomes merge into
@@ -108,6 +132,7 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 		}
 	})
 	rep.ProbesSent = probes
+	c.Gate.Observe(probes)
 	for _, o := range outcomes {
 		rep.Outcomes[o.TargetID] = o
 	}
@@ -136,10 +161,36 @@ func (o AddrSweepOutcome) Partial() bool {
 // SweepAddrs probes the given offsets of every listed target prefix from
 // every VP. The paper's sweep covered all four billion IPv4 addresses with
 // 13 VPs over ten days; we cover a deterministic sample of offsets per
-// prefix (see EXPERIMENTS.md for the substitution note).
-func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Campaign) ([]AddrSweepOutcome, int64) {
+// prefix (see EXPERIMENTS.md for the substitution note). When the
+// campaign carries a Gate, targets are admitted sequentially before the
+// sharded sweep (each demands distinct-offsets × VPs budget units) and
+// the returned Usage accounts every skipped target.
+func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Campaign) ([]AddrSweepOutcome, int64, budget.Usage) {
 	targets := w.Targets(v6)
-	return par.Gather(len(targetIDs), c.Parallelism, func(start, end int, sh *par.Shard[AddrSweepOutcome]) {
+	var usage budget.Usage
+	if c.Gate != nil {
+		// Distinct configured offsets, mirroring dedupeOffsets: a target
+		// whose representative collides with a configured offset demands
+		// one fewer address.
+		var seen [256]bool
+		distinct := 0
+		for _, off := range offsets {
+			if !seen[off] {
+				seen[off] = true
+				distinct++
+			}
+		}
+		targetIDs = budget.Filter(c.Gate, targetIDs, &usage, func(id int) (*netsim.Target, int64) {
+			tg := &targets[id]
+			repOff := tg.Addr.AsSlice()
+			addrs := distinct
+			if !seen[repOff[len(repOff)-1]] {
+				addrs++
+			}
+			return tg, int64(addrs) * int64(len(c.VPs))
+		})
+	}
+	out, probes := par.Gather(len(targetIDs), c.Parallelism, func(start, end int, sh *par.Shard[AddrSweepOutcome]) {
 		samples := make([]igreedy.Sample, 0, len(c.VPs))
 		offs := make([]uint8, 0, len(offsets)+1)
 		for _, id := range targetIDs[start:end] {
@@ -174,6 +225,8 @@ func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Ca
 			}
 		}
 	})
+	c.Gate.Observe(probes)
+	return out, probes, usage
 }
 
 // dedupeOffsets appends to dst the distinct configured offsets plus the

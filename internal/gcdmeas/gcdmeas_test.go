@@ -199,7 +199,7 @@ func TestAddrSweepFindsPartialAnycast(t *testing.T) {
 	// The paper used 13 VPs for GCD_IPv4 (§5.7).
 	camp := arkCampaign(t, 230, false)
 	camp.VPs = camp.VPs[:13]
-	outcomes, probes := SweepAddrs(testWorld, append(append([]int{}, partials...), unicasts...), false, DefaultSweepOffsets(), camp)
+	outcomes, probes, _ := SweepAddrs(testWorld, append(append([]int{}, partials...), unicasts...), false, DefaultSweepOffsets(), camp)
 	if probes == 0 {
 		t.Fatal("no probes sent")
 	}

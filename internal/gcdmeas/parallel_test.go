@@ -42,10 +42,10 @@ func TestSweepAddrsParallelByteIdentical(t *testing.T) {
 	camp.VPs = camp.VPs[:13]
 
 	camp.Parallelism = 1
-	seqOut, seqProbes := SweepAddrs(testWorld, ids, false, DefaultSweepOffsets(), camp)
+	seqOut, seqProbes, _ := SweepAddrs(testWorld, ids, false, DefaultSweepOffsets(), camp)
 	for _, workers := range []int{0, 3, 8} {
 		camp.Parallelism = workers
-		parOut, parProbes := SweepAddrs(testWorld, ids, false, DefaultSweepOffsets(), camp)
+		parOut, parProbes, _ := SweepAddrs(testWorld, ids, false, DefaultSweepOffsets(), camp)
 		if seqProbes != parProbes {
 			t.Fatalf("parallelism=%d: probes %d vs sequential %d", workers, parProbes, seqProbes)
 		}
@@ -78,13 +78,13 @@ func TestSweepAddrsDeduplicatesRepresentative(t *testing.T) {
 	camp.VPs = camp.VPs[:5]
 
 	// Baseline: no configured offsets — only the representative is probed.
-	_, probesRepOnly := SweepAddrs(testWorld, []int{id}, false, nil, camp)
+	_, probesRepOnly, _ := SweepAddrs(testWorld, []int{id}, false, nil, camp)
 	if want := int64(len(camp.VPs)); probesRepOnly != want {
 		t.Fatalf("rep-only sweep sent %d probes, want %d", probesRepOnly, want)
 	}
 
 	// A colliding offset list must not probe the representative twice.
-	_, probesColliding := SweepAddrs(testWorld, []int{id}, false, []uint8{rep}, camp)
+	_, probesColliding, _ := SweepAddrs(testWorld, []int{id}, false, []uint8{rep}, camp)
 	if probesColliding != probesRepOnly {
 		t.Fatalf("colliding offset sweep sent %d probes, want %d (representative deduplicated)",
 			probesColliding, probesRepOnly)
@@ -92,7 +92,7 @@ func TestSweepAddrsDeduplicatesRepresentative(t *testing.T) {
 
 	// Duplicates inside the configured list collapse too.
 	other := rep + 1
-	_, probesDup := SweepAddrs(testWorld, []int{id}, false, []uint8{other, other, rep}, camp)
+	_, probesDup, _ := SweepAddrs(testWorld, []int{id}, false, []uint8{other, other, rep}, camp)
 	if want := int64(2 * len(camp.VPs)); probesDup != want {
 		t.Fatalf("duplicated offset list sent %d probes, want %d", probesDup, want)
 	}

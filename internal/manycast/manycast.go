@@ -16,6 +16,7 @@ import (
 	"math/bits"
 	"time"
 
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
@@ -52,6 +53,13 @@ type Options struct {
 	// byte-identical at every worker count: shards are contiguous hitlist
 	// ranges whose observation buffers merge back in hitlist order.
 	Parallelism int
+	// Gate is the responsible-probing admission gate (R3 governance): it
+	// is consulted once per hitlist entry, in hitlist order, before the
+	// (possibly sharded) probing loop runs, charging one budget unit per
+	// participating site. Denied entries are skipped and accounted in
+	// Result.Usage — never silently dropped. A nil gate admits
+	// everything, reproducing the ungoverned run byte-for-byte.
+	Gate *budget.Gate
 }
 
 // DefaultRate is the daily-census hitlist rate in targets per second.
@@ -88,6 +96,10 @@ type Result struct {
 	// Duration is the modelled wall-clock duration of the run at the
 	// configured rate and offsets.
 	Duration time.Duration
+	// Usage is the governance accounting when Options.Gate was set: the
+	// probe demand presented to the ledger and the split between charged
+	// and denied targets (zero when ungoverned).
+	Usage budget.Usage
 }
 
 // Candidates returns the IDs of targets classified as anycast candidates.
@@ -146,6 +158,18 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 	entries := hl.FilterProtocol(opts.Protocol)
 	targets := w.Targets(hl.V6)
 
+	// Governance pre-pass: admission is decided sequentially in hitlist
+	// order — the same total order the sequential probing loop uses — so
+	// the admitted set (and therefore the result) is identical at every
+	// Parallelism setting. Each entry demands one probe per participating
+	// site.
+	if opts.Gate != nil {
+		perEntry := int64(res.Workers)
+		entries = budget.Filter(opts.Gate, entries, &res.Usage, func(e hitlist.Entry) (*netsim.Target, int64) {
+			return &targets[e.TargetID], perEntry
+		})
+	}
+
 	// Sharded execution: contiguous hitlist ranges probed concurrently,
 	// each into its own observation buffer and probe counter. Every probe
 	// is a pure function of (seed, target, worker, schedule), so merging
@@ -189,6 +213,7 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 	})
 	res.Observations, res.ProbesSent = obs, probes
 	res.Duration = pacer.Duration(len(entries), d.NumSites())
+	opts.Gate.Observe(probes)
 	return res, nil
 }
 

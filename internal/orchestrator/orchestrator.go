@@ -11,9 +11,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/rate"
 	"github.com/laces-project/laces/internal/wire"
 )
@@ -27,12 +29,25 @@ type Config struct {
 	BatchSize int
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
+	// Budget, when non-zero, caps the probes the orchestrator will
+	// stream over its lifetime (targets arrive as bare addresses, so
+	// only the global daily cap applies; the orchestrator treats its
+	// uptime as one ledger day). Each target charges one probe per
+	// participating worker.
+	Budget budget.Budget
+	// OptOut, when set, suppresses streaming of targets inside any
+	// opted-out prefix. Suppressed targets are reported in the Complete
+	// frame's Skipped count — never silently dropped.
+	OptOut *budget.Registry
 }
 
 // Orchestrator accepts workers and serves measurement requests.
 type Orchestrator struct {
 	cfg Config
 	ln  net.Listener
+	// ledger enforces responsible-probing governance on the streaming
+	// path; nil when the configuration enables none.
+	ledger *budget.Ledger
 
 	mu      sync.Mutex
 	workers map[int]*workerConn
@@ -66,11 +81,15 @@ func New(cfg Config) (*Orchestrator, error) {
 	if err != nil {
 		return nil, fmt.Errorf("orchestrator: listening on %s: %w", cfg.Addr, err)
 	}
-	return &Orchestrator{
+	o := &Orchestrator{
 		cfg:     cfg,
 		ln:      ln,
 		workers: make(map[int]*workerConn),
-	}, nil
+	}
+	if !cfg.Budget.IsZero() || cfg.OptOut != nil {
+		o.ledger = budget.NewLedger(cfg.Budget, cfg.OptOut)
+	}
+	return o, nil
 }
 
 // Addr returns the bound listen address.
@@ -248,6 +267,35 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 		return errors.New("orchestrator: all workers failed at start")
 	}
 
+	// Responsible-probing governance on the streaming path: targets in
+	// an opted-out prefix, or beyond the probe budget, are withheld from
+	// every worker before the rate-limited stream starts. The admission
+	// order is the request's target order, so the streamed set is
+	// deterministic; withheld targets are reported to the CLI in the
+	// Complete frame, never silently dropped.
+	var skipped int64
+	if o.ledger != nil {
+		gate := o.ledger.Gate(0)
+		perTarget := int64(len(alive))
+		kept := make([]string, 0, len(req.Targets))
+		for _, ts := range req.Targets {
+			addr, err := netip.ParseAddr(ts)
+			if err != nil {
+				kept = append(kept, ts) // workers reject unparsable targets themselves
+				continue
+			}
+			if gate.AdmitAddr(addr, perTarget) == budget.Admitted {
+				kept = append(kept, ts)
+			} else {
+				skipped++
+			}
+		}
+		if skipped > 0 {
+			o.cfg.Logf("orchestrator: governance withheld %d of %d targets", skipped, len(req.Targets))
+		}
+		req.Targets = kept
+	}
+
 	// Stream targets to every worker at the CLI-defined rate. Workers
 	// probe as targets arrive; the per-worker probe offset is applied at
 	// the worker (its site index shifts its probe schedule).
@@ -316,7 +364,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 				return err
 			}
 		default:
-			return cli.Write(wire.MsgComplete, wire.Complete{Results: forwarded, Workers: len(alive)})
+			return cli.Write(wire.MsgComplete, wire.Complete{Results: forwarded, Workers: len(alive), Skipped: skipped})
 		}
 	}
 }

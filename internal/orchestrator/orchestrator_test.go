@@ -45,13 +45,21 @@ var eightSites = []string{
 // startCluster boots an orchestrator plus n workers over loopback TCP and
 // waits until all workers registered.
 func startCluster(t testing.TB, n int) (*Orchestrator, *netsim.Deployment, context.CancelFunc) {
+	return startClusterCfg(t, n, Config{})
+}
+
+// startClusterCfg is startCluster with orchestrator configuration
+// (governance knobs); Addr and Logf are always overridden.
+func startClusterCfg(t testing.TB, n int, cfg Config) (*Orchestrator, *netsim.Deployment, context.CancelFunc) {
 	t.Helper()
 	w := world(t)
 	dep, err := w.NewDeployment("itest", eightSites[:n], netsim.PolicyUnmodified)
 	if err != nil {
 		t.Fatal(err)
 	}
-	o, err := New(Config{Addr: "127.0.0.1:0", Logf: t.Logf})
+	cfg.Addr = "127.0.0.1:0"
+	cfg.Logf = t.Logf
+	o, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

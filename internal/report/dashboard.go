@@ -20,6 +20,13 @@ type DashboardBuilder struct {
 	// Cumulative R3 probing cost over the stream (the published
 	// responsible-use ledger).
 	probesAnycast, probesGCD, probesTraceroute int64
+	// Cumulative governance accounting over the stream, plus how many
+	// snapshots carried a responsibility block at all.
+	governedDays                          int
+	respDemanded, respSpent, respSkipped  int64
+	respOptOutTargets, respBudgetTargets  int
+	respOptOutProbes                      int64
+	respRateSteppedDays, respMaxRateSteps int
 }
 
 // trendRow is the per-snapshot digest behind the detection-trend bars.
@@ -38,6 +45,21 @@ func (b *DashboardBuilder) Add(doc *core.Document) {
 	b.probesAnycast += doc.ProbesAnycastStage
 	b.probesGCD += doc.ProbesGCDStage
 	b.probesTraceroute += doc.ProbesTracerouteStage
+	if r := doc.Responsibility; r != nil {
+		b.governedDays++
+		b.respDemanded += r.ProbesDemanded
+		b.respSpent += r.ProbesSpent
+		b.respSkipped += r.ProbesSkipped
+		b.respOptOutTargets += r.OptOutTargets
+		b.respOptOutProbes += r.OptOutProbes
+		b.respBudgetTargets += r.BudgetTargets
+		if r.RateSteps > 0 {
+			b.respRateSteppedDays++
+			if r.RateSteps > b.respMaxRateSteps {
+				b.respMaxRateSteps = r.RateSteps
+			}
+		}
+	}
 	b.prev, b.latest = b.latest, doc
 }
 
@@ -114,6 +136,41 @@ func (b *DashboardBuilder) Render(w io.Writer) error {
 		fmtCount(latest.ProbesTotal()), len(b.rows),
 		fmtCount(b.probesAnycast), fmtCount(b.probesGCD), fmtCount(b.probesTraceroute)); err != nil {
 		return err
+	}
+
+	// Responsible-probing governance (the R3 pillar beyond raw cost):
+	// budget reconciliation, opt-out honouring and rate feedback, from
+	// the documents' published responsibility blocks.
+	if b.governedDays > 0 {
+		if _, err := fmt.Fprintf(w, "governance: %d of %d snapshots governed; demand %s → spent %s, skipped %s (opt-out %d decisions / %s probes, budget %d decisions)\n",
+			b.governedDays, len(b.rows), fmtCount(b.respDemanded), fmtCount(b.respSpent),
+			fmtCount(b.respSkipped), b.respOptOutTargets, fmtCount(b.respOptOutProbes),
+			b.respBudgetTargets); err != nil {
+			return err
+		}
+		if r := latest.Responsibility; r != nil {
+			rem := "unlimited"
+			if r.BudgetRemaining >= 0 {
+				rem = fmtCount(r.BudgetRemaining) + " probes"
+			}
+			if _, err := fmt.Fprintf(w, "governance: latest day budget remaining %s", rem); err != nil {
+				return err
+			}
+			if r.RateSteps > 0 {
+				if _, err := fmt.Fprintf(w, "; rate stepped down %d× to %.0f targets/s", r.RateSteps, r.RateEffective); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintln(w); err != nil {
+				return err
+			}
+		}
+		if b.respRateSteppedDays > 0 {
+			if _, err := fmt.Fprintf(w, "governance: abuse-complaint rate feedback on %d snapshots (deepest step 1/%d rate)\n",
+				b.respRateSteppedDays, 1<<b.respMaxRateSteps); err != nil {
+				return err
+			}
+		}
 	}
 
 	// Top origins (the Table 5 view).

@@ -345,3 +345,49 @@ func TestChurnAndEvents(t *testing.T) {
 		t.Fatalf("maxDays=2 should have dropped day 0:\n%s", out)
 	}
 }
+
+// TestDashboardGovernanceSection pins the responsible-probing lines: a
+// stream with responsibility blocks renders the governance summary, an
+// ungoverned stream does not.
+func TestDashboardGovernanceSection(t *testing.T) {
+	a, b := censusDocs(t)
+	var plain bytes.Buffer
+	if err := Dashboard(&plain, []*core.Document{a, b}); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(plain.String(), "governance:") {
+		t.Fatal("ungoverned dashboard shows a governance section")
+	}
+
+	governed := a.DeepCopy()
+	governed.Responsibility = &core.Responsibility{
+		BudgetDailyProbes: 1000,
+		ProbesDemanded:    900,
+		ProbesSpent:       700,
+		ProbesSkipped:     200,
+		OptOutTargets:     3,
+		OptOutProbes:      48,
+		BudgetTargets:     9,
+		BudgetRemaining:   300,
+		RateSteps:         3,
+		RateEffective:     1250,
+	}
+	var buf bytes.Buffer
+	if err := Dashboard(&buf, []*core.Document{governed, b.DeepCopy()}); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"governance: 1 of 2 snapshots governed",
+		"opt-out 3 decisions / 48 probes",
+		"abuse-complaint rate feedback on 1 snapshots (deepest step 1/8 rate)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dashboard missing %q:\n%s", want, out)
+		}
+	}
+	// The latest document (b) is ungoverned, so no latest-day budget line.
+	if strings.Contains(out, "latest day budget remaining") {
+		t.Fatal("latest-day line shown for ungoverned latest document")
+	}
+}

@@ -125,6 +125,10 @@ type WorkerDone struct {
 type Complete struct {
 	Results int64 `json:"results"`
 	Workers int   `json:"workers"`
+	// Skipped counts targets the orchestrator's responsible-probing
+	// ledger refused to stream (opt-out or budget); omitted when no
+	// governance is configured, keeping old CLIs compatible.
+	Skipped int64 `json:"skipped,omitempty"`
 }
 
 // ErrorMsg carries a fatal error.

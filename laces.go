@@ -34,6 +34,15 @@
 // failure drills are reproducible experiments; `laces-experiments chaos`
 // scores every built-in scenario against the clean baseline.
 //
+// The "responsible" pillar (R3) goes beyond rate limiting: a
+// probe-budget ledger (per-day global, per-AS and per-prefix caps), an
+// opt-out registry with an audit trail, and an adaptive rate controller
+// that halves the probing rate per abuse complaint (floored at the
+// paper's 1/8th-rate accuracy point, §5.5.2) govern every measurement
+// stage. Governed documents publish a `responsibility` block whose
+// accounting reconciles exactly (spent + skipped == demanded); see the
+// README's "Responsible probing" section.
+//
 // The pipeline's hot measurement loops run on a sharded worker pool
 // (PipelineConfig.Parallelism; default all cores) whose output is
 // byte-identical to the sequential run at every worker count — see the
@@ -76,6 +85,7 @@ import (
 	"time"
 
 	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/geo"
@@ -195,6 +205,46 @@ type (
 	// CensusIndexBuild summarises one index build.
 	CensusIndexBuild = query.BuildResult
 )
+
+// Responsible-probing governance types (the R3 layer: probe budgets,
+// opt-outs, adaptive rate feedback).
+type (
+	// ProbeBudget caps a census day's probing: global, per-origin-AS and
+	// per-prefix; the zero value is unlimited. Set it on
+	// PipelineConfig.Budget.
+	ProbeBudget = budget.Budget
+	// OptOutRegistry holds networks that asked not to be measured, with
+	// a Touched() audit trail. Set it on PipelineConfig.OptOut or load
+	// one via PipelineConfig.OptOutFile.
+	OptOutRegistry = budget.Registry
+	// ProbeLedger is the per-day budget accountant behind a governed
+	// pipeline (Pipeline.Ledger exposes it).
+	ProbeLedger = budget.Ledger
+	// BudgetUsage is one stage's governance accounting (demanded /
+	// spent / skipped budget units).
+	BudgetUsage = budget.Usage
+	// CensusResponsibility is the published governance block of a
+	// census document (Document.Responsibility).
+	CensusResponsibility = core.Responsibility
+)
+
+// ParseProbeBudget parses a budget spec such as "250000" or
+// "daily:250000,as:5000,prefix:200".
+func ParseProbeBudget(s string) (ProbeBudget, error) { return budget.ParseBudget(s) }
+
+// LoadOptOutRegistry loads an opt-out registry file (prefix and AS
+// entries, # comments).
+func LoadOptOutRegistry(path string) (*OptOutRegistry, error) {
+	return budget.LoadRegistryFile(path)
+}
+
+// StepProbeRate is the adaptive rate controller: each abuse-complaint
+// signal halves the probing rate, floored at 1/8th (§5.5.2's accuracy
+// operating point). The census pipeline applies it automatically when a
+// chaos scenario carries AbuseComplaint impairments.
+func StepProbeRate(base float64, complaints int) (float64, int) {
+	return budget.StepRate(base, complaints, 0)
+}
 
 // Chaos (fault-injection) types.
 type (

@@ -245,3 +245,57 @@ func TestFacadeQueryEngine(t *testing.T) {
 		t.Fatalf("facade queries decoded %d documents, want 0", n)
 	}
 }
+
+// TestFacadeGovernance exercises the exported responsible-probing
+// surface: budget parsing, a governed pipeline run, the responsibility
+// block and the opt-out audit trail.
+func TestFacadeGovernance(t *testing.T) {
+	b, err := laces.ParseProbeBudget("daily:5000000,prefix:200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	world := facadeWorld(t)
+	dep, err := laces.Tangled(world)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipe, err := laces.NewPipeline(world, laces.PipelineConfig{
+		Deployment: dep,
+		GCDVPs:     laces.ArkVPs(world),
+		Budget:     b,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Ledger() == nil {
+		t.Fatal("governed pipeline exposes no ledger")
+	}
+	census, err := pipe.RunDaily(0, false, laces.DayOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := census.Document()
+	r := doc.Responsibility
+	if r == nil {
+		t.Fatal("governed census published no responsibility block")
+	}
+	if r.ProbesSpent+r.ProbesSkipped != r.ProbesDemanded {
+		t.Fatalf("responsibility does not reconcile: %+v", r)
+	}
+	// Round-trip through the facade parser keeps the block.
+	var buf bytes.Buffer
+	if err := doc.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := laces.ParseCensusDocument(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Responsibility == nil || *parsed.Responsibility != *r {
+		t.Fatal("responsibility block lost in round trip")
+	}
+	// Rate controller floor.
+	if rate, steps := laces.StepProbeRate(8000, 10); rate != 1000 || steps != 3 {
+		t.Fatalf("StepProbeRate floor = %v/%d, want 1000/3", rate, steps)
+	}
+}
