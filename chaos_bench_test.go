@@ -8,6 +8,7 @@ import (
 	"github.com/laces-project/laces/internal/chaos"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/platform"
 )
 
@@ -33,8 +34,9 @@ func chaosBenchWorld(b *testing.B) *netsim.World {
 }
 
 // runDailyOnce executes one day-0 census on a fresh pipeline at the given
-// stage parallelism (1 = sequential baseline, 0 = all cores).
-func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario, parallelism int) {
+// stage parallelism (1 = sequential baseline, 0 = all cores), with reg
+// (nil: uninstrumented) wired into every stage.
+func runDailyOnce(b testing.TB, w *netsim.World, sc *chaos.Scenario, parallelism int, reg *obs.Registry) {
 	b.Helper()
 	dep, err := platform.Tangled(w, netsim.PolicyUnmodified)
 	if err != nil {
@@ -46,6 +48,7 @@ func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario, parallelism
 			return platform.Ark(w, day, v6)
 		},
 		Parallelism: parallelism,
+		Obs:         reg,
 	})
 	if err != nil {
 		b.Fatal(err)
@@ -65,10 +68,30 @@ func runDailyOnce(b *testing.B, w *netsim.World, sc *chaos.Scenario, parallelism
 // see netsim's TestProbeHotPathNoAllocs).
 func BenchmarkDailyCensus(b *testing.B) {
 	w := chaosBenchWorld(b)
-	runDailyOnce(b, w, nil, 1) // warm routing caches outside the timer
+	runDailyOnce(b, w, nil, 1, nil) // warm routing caches outside the timer
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runDailyOnce(b, w, nil, 1)
+		runDailyOnce(b, w, nil, 1, nil)
+	}
+}
+
+// BenchmarkDailyCensusObs is the fully instrumented census: stage
+// counters and spans via a live registry plus netsim probe telemetry.
+// The acceptance bar is within 3% of BenchmarkDailyCensus — per-shard
+// obs.Cell accumulators and handles resolved outside the hot loops keep
+// the instrumented path allocation-free (see netsim's
+// TestProbeHotPathNoAllocsInstrumented).
+func BenchmarkDailyCensusObs(b *testing.B) {
+	w := chaosBenchWorld(b)
+	reg := obs.New()
+	tel := &netsim.Telemetry{}
+	w.SetTelemetry(tel)
+	tel.Register(reg)
+	defer w.SetTelemetry(nil) // the shared bench world stays bare for the other benchmarks
+	runDailyOnce(b, w, nil, 1, reg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runDailyOnce(b, w, nil, 1, reg)
 	}
 }
 
@@ -77,10 +100,10 @@ func BenchmarkDailyCensus(b *testing.B) {
 // baseline (byte-identical output; see TestParallelCensusDeterminism).
 func BenchmarkDailyCensusParallel(b *testing.B) {
 	w := chaosBenchWorld(b)
-	runDailyOnce(b, w, nil, 0)
+	runDailyOnce(b, w, nil, 0, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runDailyOnce(b, w, nil, 0)
+		runDailyOnce(b, w, nil, 0, nil)
 	}
 }
 
@@ -94,10 +117,10 @@ func BenchmarkDailyCensusChaos(b *testing.B) {
 	if !ok {
 		b.Fatal("lossy-transit scenario missing")
 	}
-	runDailyOnce(b, w, &sc, 1)
+	runDailyOnce(b, w, &sc, 1, nil)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		runDailyOnce(b, w, &sc, 1)
+		runDailyOnce(b, w, &sc, 1, nil)
 	}
 }
 

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	laces-experiments [-scale default|test] [-only table1,fig5,...] [-longitudinal]
+//	laces-experiments [-scale default|test] [-only table1,fig5,...] [-longitudinal] [-obs file]
 package main
 
 import (
@@ -17,12 +17,14 @@ import (
 
 	"github.com/laces-project/laces/internal/experiments"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 )
 
 func main() {
 	scale := flag.String("scale", "default", "world scale: default or test")
 	only := flag.String("only", "", "comma-separated experiment list (e.g. table1,fig5); empty runs all")
 	longitudinal := flag.Bool("longitudinal", false, "include the (slow) Fig 9/10 longitudinal run")
+	obsOut := flag.String("obs", "", "write an end-of-run telemetry snapshot (JSON) to this file; render with `laces metrics`")
 	flag.Parse()
 
 	var cfg netsim.Config
@@ -44,18 +46,46 @@ func main() {
 	fmt.Fprintf(os.Stderr, "world generated in %.1fs (%d IPv4 /24s, %d IPv6 /48s)\n",
 		time.Since(start).Seconds(), len(env.World.TargetsV4), len(env.World.TargetsV6))
 
+	var reg *obs.Registry
+	if *obsOut != "" {
+		reg = obs.New()
+		env.Obs = reg
+		tel := &netsim.Telemetry{}
+		env.World.SetTelemetry(tel)
+		tel.Register(reg)
+	}
+
 	if *only == "" {
 		if err := env.RunAll(os.Stdout, !*longitudinal); err != nil {
 			fatal(err)
 		}
-		return
+	} else {
+		for _, name := range strings.Split(*only, ",") {
+			if err := runOne(env, strings.TrimSpace(strings.ToLower(name))); err != nil {
+				fatal(err)
+			}
+			fmt.Println()
+		}
 	}
-	for _, name := range strings.Split(*only, ",") {
-		if err := runOne(env, strings.TrimSpace(strings.ToLower(name))); err != nil {
+
+	if *obsOut != "" {
+		if err := writeSnapshot(reg, *obsOut); err != nil {
 			fatal(err)
 		}
-		fmt.Println()
+		fmt.Fprintf(os.Stderr, "telemetry snapshot written to %s\n", *obsOut)
 	}
+}
+
+func writeSnapshot(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.Snapshot().WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fatal(err error) {

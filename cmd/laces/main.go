@@ -7,7 +7,7 @@
 //	laces orchestrator -listen 127.0.0.1:4000
 //	laces worker -name ams01 -orchestrator 127.0.0.1:4000 [-sites 8]
 //	laces measure -orchestrator 127.0.0.1:4000 -protocol ICMP -targets 500 -out results.csv
-//	laces census  -day 100 [-v6] [-json census.json] [-archive dir]
+//	laces census  -day 100 [-v6] [-json census.json] [-archive dir] [-progress] [-obs telemetry.json]
 //	laces igreedy -samples samples.csv
 //	laces trace -target 1.1.0.0/24 -from Tokyo
 //	laces diff day100.json day107.json
@@ -26,6 +26,8 @@
 //	laces budget show -budget daily:250000,as:5000 -optout optout.txt
 //	laces census -day 100 -budget 250000 -optout optout.txt
 //	laces replay -archive dir -budget 250000
+//	laces metrics telemetry.json
+//	laces serve -archive dir -metrics -pprof
 //
 // The worker and measure subcommands probe the embedded simulated Internet
 // (all components must use the same -seed); the orchestration plane itself
@@ -54,6 +56,7 @@ import (
 	"github.com/laces-project/laces/internal/client"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/orchestrator"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/platform"
@@ -98,6 +101,8 @@ func main() {
 		err = runQuery(args)
 	case "budget":
 		err = runBudget(args)
+	case "metrics":
+		err = runMetrics(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -128,6 +133,7 @@ Subcommands:
   replay         stream an archived census history day by day
   query          longitudinal queries over the archive's timeline index
   budget         show responsible-probing budgets, opt-outs and demand
+  metrics        render a telemetry snapshot written with 'census -obs'
 
 Run 'laces <subcommand> -h' for flags.
 `)
@@ -337,6 +343,8 @@ func runCensus(args []string) error {
 	archiveDir := fs.String("archive", "", "append the census day to this archive")
 	budgetSpec := fs.String("budget", "", "probe budget (e.g. 250000 or daily:250000,as:5000,prefix:200)")
 	optOut := fs.String("optout", "", "opt-out registry file (prefixes and AS entries)")
+	progress := fs.Bool("progress", false, "render a live progress line on stderr while the census runs")
+	obsOut := fs.String("obs", "", "write an end-of-run telemetry snapshot (JSON) to this file; render with `laces metrics`")
 	fs.Parse(args)
 
 	b, reg, err := loadGovernance(*budgetSpec, *optOut)
@@ -351,17 +359,32 @@ func runCensus(args []string) error {
 	if err != nil {
 		return err
 	}
+	var telemetry *laces.ObsRegistry
+	if *progress || *obsOut != "" {
+		telemetry = laces.NewObsRegistry()
+		tel := &laces.NetsimTelemetry{}
+		w.SetTelemetry(tel)
+		tel.Register(telemetry)
+	}
 	pipe, err := laces.NewPipeline(w, laces.PipelineConfig{
 		Deployment: dep,
 		GCDVPs:     laces.ArkVPs(w),
 		Budget:     b,
 		OptOut:     reg,
+		Obs:        telemetry,
 	})
 	if err != nil {
 		return err
 	}
 	start := time.Now()
+	var ps *obs.ProgressStream
+	if *progress {
+		ps = telemetry.StartProgress(os.Stderr, 200*time.Millisecond)
+	}
 	c, err := pipe.RunDaily(*day, *v6, laces.DayOptions{})
+	if ps != nil {
+		ps.Stop()
+	}
 	if err != nil {
 		return err
 	}
@@ -413,6 +436,20 @@ func runCensus(args []string) error {
 			return err
 		}
 		fmt.Printf("appended day %d to archive %s\n", *day, *archiveDir)
+	}
+	if *obsOut != "" {
+		f, err := os.Create(*obsOut)
+		if err != nil {
+			return err
+		}
+		if err := telemetry.Snapshot().WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Println("wrote telemetry snapshot", *obsOut)
 	}
 	return nil
 }
@@ -482,6 +519,8 @@ func runServe(args []string) error {
 	cache := fs.Int("cache", api.DefaultCacheSize, "decoded-day LRU size")
 	budgetSpec := fs.String("budget", "", "probe budget governing live census computation")
 	optOut := fs.String("optout", "", "opt-out registry file governing live census computation")
+	metrics := fs.Bool("metrics", false, "expose Prometheus metrics at /metrics")
+	pprofFlag := fs.Bool("pprof", false, "expose profiling endpoints under /debug/pprof/")
 	fs.Parse(args)
 
 	b, reg, err := loadGovernance(*budgetSpec, *optOut)
@@ -503,6 +542,16 @@ func runServe(args []string) error {
 		return err
 	}
 	srv.CacheSize = *cache
+	if *metrics {
+		if err := srv.Instrument(laces.NewObsRegistry()); err != nil {
+			return err
+		}
+		fmt.Printf("serving Prometheus metrics at /metrics\n")
+	}
+	if *pprofFlag {
+		srv.EnablePprof = true
+		fmt.Printf("serving profiling endpoints under /debug/pprof/\n")
+	}
 	if !b.IsZero() || reg != nil {
 		if err := srv.Govern(b, reg); err != nil {
 			return err
@@ -1127,6 +1176,63 @@ func runBudgetShow(args []string) error {
 	if b.DailyProbes > 0 && total > 0 {
 		fmt.Printf("daily budget covers %.1f%% of the anycast-stage demand (1/8th ≈ %d)\n",
 			100*float64(b.DailyProbes)/float64(total), total/8)
+	}
+	return nil
+}
+
+// runMetrics renders a telemetry snapshot written by `laces census -obs`
+// or `laces-experiments -obs`: every series' final value, the span tree
+// and the retained events.
+func runMetrics(args []string) error {
+	fs := flag.NewFlagSet("metrics", flag.ExitOnError)
+	spans := fs.Bool("spans", true, "include the pipeline span log")
+	events := fs.Bool("events", true, "include retained events")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: laces metrics [-spans=false] [-events=false] <snapshot.json>")
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	snap, err := laces.ReadObsSnapshot(f)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
+	}
+	fmt.Printf("telemetry snapshot (%s): %d series, %d spans, %d events\n",
+		snap.TakenAt.Format(time.RFC3339), len(snap.Metrics), len(snap.Spans), len(snap.Events))
+	for _, m := range snap.Metrics {
+		name := m.Name
+		if len(m.Labels) > 0 {
+			var parts []string
+			for _, l := range m.Labels {
+				parts = append(parts, fmt.Sprintf("%s=%q", l.Name, l.Value))
+			}
+			name += "{" + strings.Join(parts, ",") + "}"
+		}
+		if m.Type == "histogram" {
+			fmt.Printf("  %-64s count=%d sum=%.6g\n", name, m.Count, m.Sum)
+			continue
+		}
+		fmt.Printf("  %-64s %g\n", name, m.Value)
+	}
+	if *spans && len(snap.Spans) > 0 {
+		fmt.Println("spans:")
+		for _, sp := range snap.Spans {
+			depth := strings.Count(sp.Path, "/")
+			fmt.Printf("  %s%-*s %9.3fs\n", strings.Repeat("  ", depth), 48-2*depth, sp.Path, sp.Seconds)
+		}
+	}
+	if *events && len(snap.Events) > 0 {
+		fmt.Println("events:")
+		for _, ev := range snap.Events {
+			var parts []string
+			for _, l := range ev.Fields {
+				parts = append(parts, fmt.Sprintf("%s=%q", l.Name, l.Value))
+			}
+			fmt.Printf("  %s %s %s\n", ev.At.Format(time.RFC3339), ev.Kind, strings.Join(parts, " "))
+		}
 	}
 	return nil
 }

@@ -30,6 +30,7 @@ import (
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/manycast"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/query"
 )
@@ -58,6 +59,14 @@ type Server struct {
 	// CacheSize bounds the decoded-day LRU (default DefaultCacheSize).
 	// Set before the first request.
 	CacheSize int
+	// Obs, when set (via Instrument), is the telemetry registry behind
+	// GET /metrics and the per-route request metrics. Set before Handler
+	// is called; nil leaves every route uninstrumented and unregistered.
+	Obs *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ when Handler
+	// is called. Off by default: profiling endpoints expose heap and CPU
+	// internals and belong behind an operator's explicit opt-in.
+	EnablePprof bool
 
 	mu       sync.Mutex
 	pipeline *core.Pipeline
@@ -107,21 +116,33 @@ func NewServer(w *netsim.World, d *netsim.Deployment, gcdVPs func(int, bool) ([]
 	}, nil
 }
 
-// Handler returns the HTTP routing table.
+// Handler returns the HTTP routing table. Routes are wrapped with
+// per-route request metrics when a registry is attached (Instrument),
+// and /metrics and /debug/pprof/ are mounted per the Obs/EnablePprof
+// knobs — both must be set before Handler is called.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /v1/census", s.handleCensus)
-	mux.HandleFunc("GET /v1/days", s.handleDays)
-	mux.HandleFunc("GET /v1/range", s.handleRange)
-	mux.HandleFunc("GET /v1/prefix/{prefix...}", s.handlePrefix)
-	mux.HandleFunc("GET /v1/timeline/{prefix...}", s.handleTimeline)
-	mux.HandleFunc("GET /v1/events", s.handleEvents)
-	mux.HandleFunc("GET /v1/stability", s.handleStability)
-	mux.HandleFunc("GET /v1/responsibility", s.handleResponsibility)
-	mux.HandleFunc("POST /v1/measure", s.handleMeasure)
-	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+	route := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrumented(pattern, h))
+	}
+	route("GET /v1/census", s.handleCensus)
+	route("GET /v1/days", s.handleDays)
+	route("GET /v1/range", s.handleRange)
+	route("GET /v1/prefix/{prefix...}", s.handlePrefix)
+	route("GET /v1/timeline/{prefix...}", s.handleTimeline)
+	route("GET /v1/events", s.handleEvents)
+	route("GET /v1/stability", s.handleStability)
+	route("GET /v1/responsibility", s.handleResponsibility)
+	route("POST /v1/measure", s.handleMeasure)
+	route("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	if s.Obs != nil {
+		mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
+	if s.EnablePprof {
+		registerPprof(mux)
+	}
 	return mux
 }
 
@@ -180,6 +201,7 @@ func (s *Server) census(day int, v6 bool) (*cachedDay, error) {
 				GCDVPs:     s.GCDVPs,
 				Budget:     s.govBudget,
 				OptOut:     s.govOptOut,
+				Obs:        s.Obs,
 			})
 			if err != nil {
 				return nil, err
@@ -646,10 +668,10 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp.ProbesSpent += res.ProbesSent
-	for _, obs := range res.Observations {
+	for _, ob := range res.Observations {
 		resp.Responsive = true
-		resp.ReceivingVPs = obs.NumReceivers()
-		resp.AnycastBased = obs.IsCandidate()
+		resp.ReceivingVPs = ob.NumReceivers()
+		resp.AnycastBased = ob.IsCandidate()
 	}
 
 	// GCD confirmation (ICMP or TCP only, §4.3).
@@ -683,8 +705,14 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// writeJSON is the single response funnel for JSON routes: headers,
+// then exactly one WriteHeader, then the body — success and error
+// responses alike, so no handler can emit body bytes ahead of the
+// status line. nosniff stops browsers from second-guessing the typed
+// error bodies.
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(code)
 	_ = json.NewEncoder(w).Encode(v)
 }

@@ -1,0 +1,151 @@
+package api
+
+// Observability for the HTTP server: per-route request counters and
+// latency histograms, the Prometheus text exposition, optional pprof
+// handlers, and the bridges that expose the archive's and query index's
+// internal tallies as registry series.
+//
+// Response-writing contract (audited across every handler in this
+// package): headers are set first, the status code is written exactly
+// once via WriteHeader before any body byte, and error responses carry
+// Content-Type: application/json like every other JSON response —
+// writeJSON/writeErr are the single funnel, so no handler can write a
+// body ahead of its status line. Streaming routes (/v1/range) that fail
+// mid-body abort the connection (http.ErrAbortHandler) rather than
+// truncating silently.
+
+import (
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
+)
+
+// Instrument attaches a telemetry registry to the server: the live
+// pipeline is rebuilt with stage instrumentation, probe-level netsim
+// telemetry is installed on the world, and the archive's and query
+// index's internal tallies are bridged into registry series. Call
+// before the first request (and before Handler, which snapshots the
+// registry when wiring routes); GET /metrics serves the exposition.
+func (s *Server) Instrument(reg *obs.Registry) error {
+	if reg == nil {
+		return nil
+	}
+	p, err := core.NewPipeline(s.World, core.Config{
+		Deployment: s.Deployment,
+		GCDVPs:     s.GCDVPs,
+		Obs:        reg,
+	})
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.Obs = reg
+	s.pipeline = p
+	s.mu.Unlock()
+
+	tel := &netsim.Telemetry{}
+	s.World.SetTelemetry(tel)
+	tel.Register(reg)
+
+	// Archive and query handles may be attached after Instrument (both
+	// are set-before-first-request fields), so the bridges read them at
+	// scrape time and report zero while absent.
+	reg.CounterFunc("laces_archive_decodes_total",
+		"Document materializations (snapshot parses plus delta applications).",
+		func() float64 {
+			if a := s.Archive; a != nil {
+				return float64(a.Decodes())
+			}
+			return 0
+		})
+	reg.CounterFunc("laces_archive_cache_total",
+		"Decoded-day LRU lookups, by outcome.",
+		func() float64 { h, _ := s.Archive.CacheStats(); return float64(h) },
+		obs.L("outcome", "hit"))
+	reg.CounterFunc("laces_archive_cache_total",
+		"Decoded-day LRU lookups, by outcome.",
+		func() float64 { _, m := s.Archive.CacheStats(); return float64(m) },
+		obs.L("outcome", "miss"))
+	reg.CounterFunc("laces_query_lookups_total",
+		"Timeline lookups answered by the columnar index.",
+		func() float64 { l, _, _ := s.Query.Stats(); return float64(l) })
+	reg.CounterFunc("laces_query_cache_hits_total",
+		"Timeline lookups served from the decoded-timeline LRU.",
+		func() float64 { _, h, _ := s.Query.Stats(); return float64(h) })
+	reg.CounterFunc("laces_query_decode_fallbacks_total",
+		"Full-entry queries that fell back to document decoding.",
+		func() float64 { _, _, d := s.Query.Stats(); return float64(d) })
+	return nil
+}
+
+// statusRecorder captures the response status for error accounting. It
+// always advertises Flush so streaming routes keep flushing through the
+// middleware; Flush is a no-op when the underlying writer cannot.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.status = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Flush() {
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// instrumented wraps one route with its request counter, latency
+// histogram and error counter. Metrics record via defer, so a handler
+// that panics (e.g. /v1/range aborting a broken stream) is still
+// counted before the panic propagates. With no registry attached the
+// handler is returned untouched.
+func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc {
+	reg := s.Obs
+	if reg == nil {
+		return h
+	}
+	reqs := reg.Counter("laces_http_requests_total",
+		"HTTP requests served, by route.", obs.L("route", route))
+	lat := reg.Histogram("laces_http_request_seconds",
+		"HTTP request latency, by route.", nil, obs.L("route", route))
+	errs := reg.Counter("laces_http_errors_total",
+		"HTTP responses with status >= 400, by route.", obs.L("route", route))
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		defer func() {
+			reqs.Inc()
+			lat.Observe(time.Since(start).Seconds())
+			if sr.status >= 400 {
+				errs.Inc()
+			}
+		}()
+		h(sr, r)
+	}
+}
+
+// handleMetrics serves the registry in Prometheus text format 0.0.4.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("X-Content-Type-Options", "nosniff")
+	w.WriteHeader(http.StatusOK)
+	_ = s.Obs.WritePrometheus(w)
+}
+
+// registerPprof mounts the net/http/pprof handlers under /debug/pprof/.
+// Explicit registration (rather than the package's init-time default-mux
+// side effect) keeps profiling opt-in per server.
+func registerPprof(mux *http.ServeMux) {
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+}

@@ -28,6 +28,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 
 	"github.com/laces-project/laces/internal/core"
 )
@@ -100,6 +101,23 @@ type Writer struct {
 	index *os.File
 	seq   int
 	fams  map[string]*famState
+
+	// Lifetime append telemetry, atomically updated after each committed
+	// day. Read via AppendStats; never consulted by the append logic.
+	appends     atomic.Int64
+	storedBytes atomic.Int64
+	fullBytes   atomic.Int64
+}
+
+// AppendStats reports the writer's lifetime append telemetry: committed
+// days, bytes as stored on disk (snapshot or delta form) and the size of
+// the same days in canonical full-JSON form. The stored/full ratio is the
+// archive's live compression factor. Zero for a nil writer.
+func (w *Writer) AppendStats() (appends, storedBytes, fullBytes int64) {
+	if w == nil {
+		return 0, 0, 0
+	}
+	return w.appends.Load(), w.storedBytes.Load(), w.fullBytes.Load()
 }
 
 // Create initialises a new archive directory (created if missing; an
@@ -302,6 +320,9 @@ func (w *Writer) Append(day int, doc *core.Document) error {
 		return fmt.Errorf("archive: appending index record: %w", err)
 	}
 	committed = true
+	w.appends.Add(1)
+	w.storedBytes.Add(stored)
+	w.fullBytes.Add(count.n)
 
 	if st == nil {
 		st = &famState{}

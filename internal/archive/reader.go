@@ -41,6 +41,22 @@ type Archive struct {
 	// asserted against this counter: answering a timeline from the
 	// columnar index must leave it untouched.
 	decodes atomic.Int64
+
+	// cacheHits/cacheMisses tally decoded-day LRU outcomes for requested
+	// days: a hit means the day was served straight from the cache, a
+	// miss means decoding work happened (walk-back lookups while serving
+	// one miss are not separately counted). Read via CacheStats.
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+}
+
+// CacheStats reports the decoded-day LRU's hit/miss tallies. Zero for a
+// nil archive.
+func (a *Archive) CacheStats() (hits, misses int64) {
+	if a == nil {
+		return 0, 0
+	}
+	return a.cacheHits.Load(), a.cacheMisses.Load()
 }
 
 type dayKey struct {
@@ -155,8 +171,14 @@ func (a *Archive) documentLocked(family string, pos int) (*core.Document, error)
 	for {
 		day := a.recs[idxs[base]].Day
 		if d, ok := a.cache.Get(dayKey{family, day}); ok {
+			if base == pos {
+				a.cacheHits.Add(1)
+			}
 			doc = d
 			break
+		}
+		if base == pos {
+			a.cacheMisses.Add(1)
 		}
 		if a.recs[idxs[base]].Kind == KindSnapshot {
 			break

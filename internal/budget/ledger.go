@@ -22,8 +22,38 @@ type Ledger struct {
 	budget Budget
 	reg    *Registry
 
+	// Lifetime decision telemetry across all days, atomically updated
+	// at each admission verdict. Read via Decisions; never consulted by
+	// admission logic, so counting cannot change what is admitted.
+	admitted     atomic.Int64
+	deniedBudget atomic.Int64
+	deniedOptOut atomic.Int64
+
 	mu   sync.Mutex
 	days map[int]*dayState
+}
+
+// Decisions returns the ledger's lifetime admission telemetry: how many
+// presentations were admitted, denied by a cap and denied by the
+// opt-out registry. Zero for a nil ledger.
+func (l *Ledger) Decisions() (admitted, deniedBudget, deniedOptOut int64) {
+	if l == nil {
+		return 0, 0, 0
+	}
+	return l.admitted.Load(), l.deniedBudget.Load(), l.deniedOptOut.Load()
+}
+
+// count records one decision into the lifetime telemetry.
+func (l *Ledger) count(d Decision) Decision {
+	switch d {
+	case Admitted:
+		l.admitted.Add(1)
+	case DeniedBudget:
+		l.deniedBudget.Add(1)
+	case DeniedOptOut:
+		l.deniedOptOut.Add(1)
+	}
+	return d
 }
 
 // dayState is one census day's charge counters.
@@ -123,6 +153,11 @@ func (g *Gate) Admit(tg *netsim.Target, probes int64) Decision {
 	if g == nil {
 		return Admitted
 	}
+	return g.led.count(g.admit(tg, probes))
+}
+
+// admit is Admit without the decision telemetry.
+func (g *Gate) admit(tg *netsim.Target, probes int64) Decision {
 	if entry, ok := g.led.reg.Match(tg.Prefix, tg.Origin); ok {
 		g.led.reg.touch(entry, probes)
 		return DeniedOptOut
@@ -160,6 +195,11 @@ func (g *Gate) AdmitAddr(addr netip.Addr, probes int64) Decision {
 	if g == nil {
 		return Admitted
 	}
+	return g.led.count(g.admitAddr(addr, probes))
+}
+
+// admitAddr is AdmitAddr without the decision telemetry.
+func (g *Gate) admitAddr(addr netip.Addr, probes int64) Decision {
 	if entry, ok := g.led.reg.MatchAddr(addr); ok {
 		g.led.reg.touch(entry, probes)
 		return DeniedOptOut

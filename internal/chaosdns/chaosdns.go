@@ -10,14 +10,19 @@
 package chaosdns
 
 import (
+	"strconv"
 	"time"
 
 	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/par"
 )
+
+// Stage is the CHAOS census's metric label in the laces_stage_* series.
+const Stage = "chaos"
 
 // Observation is the CHAOS census output for one nameserver.
 type Observation struct {
@@ -44,8 +49,9 @@ func (o Observation) MultiRecord() bool { return len(o.Records) > 1 }
 // map is identical at every worker count. The gate, when non-nil, is the
 // responsible-probing admission pre-pass (one budget unit per deployment
 // site per entry, decided sequentially in hitlist order); denied entries
-// are skipped and accounted in the returned Usage.
-func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time, gate *budget.Gate, parallelism int) (map[int]Observation, budget.Usage) {
+// are skipped and accounted in the returned Usage. reg, when non-nil,
+// receives the stage's telemetry (never feeding back into the result).
+func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time, gate *budget.Gate, parallelism int, reg *obs.Registry) (map[int]Observation, budget.Usage) {
 	entries := hl.FilterProtocol(packet.DNS)
 	targets := w.Targets(hl.V6)
 	var usage budget.Usage
@@ -55,10 +61,14 @@ func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.
 			return &targets[e.TargetID], perEntry
 		})
 	}
+	si := reg.Stage(Stage, len(entries))
+	cells := make([]obs.Cell, par.NumShards(len(entries), parallelism))
 	all, probes := par.Gather(len(entries), parallelism, func(start, end int, sh *par.Shard[Observation]) {
+		cell := &cells[sh.Index]
+		ssp := si.Span.Child("shard" + strconv.Itoa(sh.Index))
 		for _, e := range entries[start:end] {
 			tg := &targets[e.TargetID]
-			obs := Observation{TargetID: e.TargetID, Records: make(map[string]bool)}
+			ob := Observation{TargetID: e.TargetID, Records: make(map[string]bool)}
 			for wk := 0; wk < d.NumSites(); wk++ {
 				ctx := netsim.ProbeCtx{
 					At:   at.Add(time.Duration(wk) * time.Second),
@@ -71,22 +81,30 @@ func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.
 				if !ok {
 					continue
 				}
+				cell.Replies++
 				// Each query observes the record of the site (or co-located
 				// server) that answered it.
 				rec, ok := w.ChaosRecord(tg, del.SiteIdx, uint64(e.TargetID)*64+uint64(wk))
 				if !ok {
 					continue
 				}
-				obs.Supported = true
-				obs.Records[rec] = true
+				ob.Supported = true
+				ob.Records[rec] = true
 			}
-			sh.Out = append(sh.Out, obs)
+			sh.Out = append(sh.Out, ob)
+			si.Done.Inc()
 		}
+		ssp.End()
 	})
 	gate.Observe(probes)
+	si.Probes.Add(probes)
+	_, replies := obs.MergeCells(cells)
+	si.Replies.Add(replies)
+	si.Denied.Add(int64(usage.OptOutTargets + usage.BudgetTargets))
+	si.End()
 	out := make(map[int]Observation, len(entries))
-	for _, obs := range all {
-		out[obs.TargetID] = obs
+	for _, ob := range all {
+		out[ob.TargetID] = ob
 	}
 	return out, usage
 }

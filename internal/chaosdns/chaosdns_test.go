@@ -28,7 +28,7 @@ func mustCensus() map[int]Observation {
 	if err != nil {
 		panic(err)
 	}
-	obs, _ := Census(testWorld, d, testHL, netsim.DayTime(40), nil, 1)
+	obs, _ := Census(testWorld, d, testHL, netsim.DayTime(40), nil, 1, nil)
 	return obs
 }
 

@@ -16,9 +16,9 @@ func TestCensusParallelByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	at := netsim.DayTime(40)
-	seq, _ := Census(testWorld, d, testHL, at, nil, 1)
+	seq, _ := Census(testWorld, d, testHL, at, nil, 1, nil)
 	for _, workers := range []int{0, 2, 5, 16} {
-		par, _ := Census(testWorld, d, testHL, at, nil, workers)
+		par, _ := Census(testWorld, d, testHL, at, nil, workers, nil)
 		if !reflect.DeepEqual(seq, par) {
 			t.Fatalf("parallelism=%d: CHAOS census diverges from sequential run", workers)
 		}

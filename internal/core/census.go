@@ -26,6 +26,7 @@ import (
 	"github.com/laces-project/laces/internal/igreedy"
 	"github.com/laces-project/laces/internal/manycast"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/traceroute"
 )
@@ -219,6 +220,12 @@ type Config struct {
 	// OptOutFile, when set (and OptOut is nil), loads the opt-out
 	// registry from this path at pipeline construction.
 	OptOutFile string
+	// Obs receives the pipeline's telemetry: per-stage laces_stage_*
+	// series, pipeline spans, live progress and (when governance is
+	// active) the budget decision counters. Nil disables instrumentation.
+	// Telemetry never feeds back into measurement: the census document is
+	// byte-identical with Obs set or nil.
+	Obs *obs.Registry
 }
 
 // DayOptions injects per-day conditions (failure modelling, §7). The
@@ -327,6 +334,22 @@ func NewPipeline(w *netsim.World, cfg Config) (*Pipeline, error) {
 	if !cfg.Budget.IsZero() || cfg.OptOut != nil {
 		p.ledger = budget.NewLedger(cfg.Budget, cfg.OptOut)
 	}
+	if cfg.Obs != nil && p.ledger != nil {
+		// Bridge the ledger's lifetime decision telemetry into the
+		// registry; the ledger itself stays obs-free.
+		led := p.ledger
+		cfg.Obs.CounterFunc("laces_budget_admitted_total",
+			"Targets admitted by the responsible-probing ledger.",
+			func() float64 { a, _, _ := led.Decisions(); return float64(a) })
+		cfg.Obs.CounterFunc("laces_budget_denied_total",
+			"Targets denied by the responsible-probing ledger, by reason.",
+			func() float64 { _, d, _ := led.Decisions(); return float64(d) },
+			obs.L("reason", "budget"))
+		cfg.Obs.CounterFunc("laces_budget_denied_total",
+			"Targets denied by the responsible-probing ledger, by reason.",
+			func() float64 { _, _, o := led.Decisions(); return float64(o) },
+			obs.L("reason", "optout"))
+	}
 	p.feedback[0] = make(map[int]bool)
 	p.feedback[1] = make(map[int]bool)
 	return p, nil
@@ -358,6 +381,15 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 	w := p.World
 	hl := hitlist.ForDay(w, v6, day)
 	start := netsim.DayTime(day)
+
+	// Pipeline telemetry: a census-level span over the whole run and a
+	// budget reader for the live progress line. Every handle is a no-op
+	// when no registry is configured, and nothing below feeds back into
+	// the measurement.
+	reg := p.Cfg.Obs
+	censusSpan := reg.StartSpan("census")
+	defer censusSpan.End()
+	reg.SetBudgetFunc(func() int64 { return p.ledger.Remaining(day) })
 
 	// Resolve the day's fault plan: site outages become missing workers
 	// (dead sites neither transmit nor capture), everything else impairs
@@ -403,6 +435,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		MissingWorkers: missing,
 		Parallelism:    p.Cfg.Parallelism,
 		Gate:           gate,
+		Obs:            reg,
 	}
 	results, err := manycast.MultiProtocol(w, p.Cfg.Deployment, hl, base, p.Cfg.Protocols)
 	if err != nil {
@@ -414,13 +447,13 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		census.ProbesAnycastStage += res.ProbesSent
 		anycastUsage.Add(res.Usage)
 		census.ReceiverHist[proto] = res.ReceiverHistogram()
-		for _, obs := range res.Observations {
-			if !obs.IsCandidate() {
+		for _, ob := range res.Observations {
+			if !ob.IsCandidate() {
 				continue
 			}
-			e := census.entry(&targets[obs.TargetID])
+			e := census.entry(&targets[ob.TargetID])
 			e.ACProtocols[proto] = true
-			if n := obs.NumReceivers(); n > e.MaxReceivers {
+			if n := ob.NumReceivers(); n > e.MaxReceivers {
 				e.MaxReceivers = n
 			}
 		}
@@ -478,6 +511,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 			Analysis:    igreedy.Options{},
 			Parallelism: p.Cfg.Parallelism,
 			Gate:        gate,
+			Obs:         reg,
 		})
 		census.ProbesGCDStage += rep.ProbesSent
 		gcdUsage.Add(rep.Usage)
@@ -553,6 +587,8 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 	}
 
 	census.Alerts = p.monitor(census)
+	reg.Counter("laces_census_days_total",
+		"Census days completed by this pipeline.").Inc()
 	return census, nil
 }
 
@@ -641,8 +677,8 @@ func (p *Pipeline) annotateChaos(census *DailyCensus, hl *hitlist.Hitlist, start
 	if sub.Len() == 0 {
 		return budget.Usage{}
 	}
-	obs, usage := chaosdns.Census(p.World, p.Cfg.Deployment, sub, start.Add(9*time.Hour), gate, p.Cfg.Parallelism)
-	for id, o := range obs {
+	recs, usage := chaosdns.Census(p.World, p.Cfg.Deployment, sub, start.Add(9*time.Hour), gate, p.Cfg.Parallelism, p.Cfg.Obs)
+	for id, o := range recs {
 		if !o.Supported {
 			continue
 		}

@@ -16,6 +16,7 @@ import (
 	"github.com/laces-project/laces/internal/longitudinal"
 	"github.com/laces-project/laces/internal/manycast"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/platform"
 )
@@ -25,6 +26,10 @@ import (
 type Env struct {
 	World   *netsim.World
 	Tangled *netsim.Deployment
+	// Obs, when set before the first experiment runs, receives telemetry
+	// from every census pipeline the environment builds. Results are
+	// byte-identical with or without it.
+	Obs *obs.Registry
 
 	mu       sync.Mutex
 	gcdls    map[lsKey]*core.GCDLSResult
@@ -133,6 +138,7 @@ func (e *Env) DailyCensus(day int, v6 bool) (*core.DailyCensus, error) {
 		GCDVPs: func(day int, v6 bool) ([]netsim.VP, error) {
 			return platform.Ark(e.World, day, v6)
 		},
+		Obs: e.Obs,
 	})
 	if err != nil {
 		return nil, err

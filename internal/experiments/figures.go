@@ -393,7 +393,7 @@ type Fig12Result struct {
 func (e *Env) Fig12() (*Fig12Result, error) {
 	hl := hitlist.ForDay(e.World, false, dayChaos)
 	at := netsim.DayTime(dayChaos)
-	chaos, _ := chaosdns.Census(e.World, e.Tangled, hl, at, nil, 0)
+	chaos, _ := chaosdns.Census(e.World, e.Tangled, hl, at, nil, 0, nil)
 
 	// Anycast-based receiving counts (DNS probing).
 	res, err := manycast.Run(e.World, e.Tangled, hl, manycast.Options{

@@ -7,14 +7,26 @@
 package gcdmeas
 
 import (
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/igreedy"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/par"
 )
+
+// StageLabel names the GCD stage's metric label for a protocol
+// campaign: gcd_icmp or gcd_tcp.
+func StageLabel(p packet.Protocol) string {
+	return "gcd_" + strings.ToLower(p.String())
+}
+
+// SweepStage is the metric label of the /32-granularity address sweep.
+const SweepStage = "gcd_sweep"
 
 // Campaign configures one latency measurement campaign.
 type Campaign struct {
@@ -37,6 +49,10 @@ type Campaign struct {
 	// Denied targets are skipped and accounted in Report.Usage. A nil
 	// gate admits everything.
 	Gate *budget.Gate
+	// Obs receives the stage's telemetry (laces_stage_* series, the RTT
+	// histogram, the pipeline span and live progress). Nil disables
+	// instrumentation; telemetry never changes the report.
+	Obs *obs.Registry
 }
 
 // TargetOutcome is the GCD result for one target.
@@ -92,11 +108,22 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 		})
 	}
 
+	// Stage telemetry: per-shard cells absorb the hot-loop counting,
+	// merged into the laces_stage_* series after the shards join. The
+	// RTT histogram records each VP's best sample. No-ops when Obs is
+	// nil; nothing here feeds back into the report.
+	si := c.Obs.Stage(StageLabel(c.Proto), len(targetIDs))
+	rtts := c.Obs.Histogram("laces_gcd_rtt_seconds",
+		"Best per-VP RTT samples collected by the GCD stage.", nil)
+	cells := make([]obs.Cell, par.NumShards(len(targetIDs), c.Parallelism))
+
 	// Sharded execution: each shard owns a contiguous range of the target
 	// list, a private sample buffer and probe counter; outcomes merge into
 	// the keyed map afterwards (per-target results are independent, so the
 	// map contents match the sequential run exactly).
 	outcomes, probes := par.Gather(len(targetIDs), c.Parallelism, func(start, end int, sh *par.Shard[TargetOutcome]) {
+		cell := &cells[sh.Index]
+		ssp := si.Span.Child("shard" + strconv.Itoa(sh.Index))
 		samples := make([]igreedy.Sample, 0, len(c.VPs))
 		for _, id := range targetIDs[start:end] {
 			if id < 0 || id >= len(targets) {
@@ -113,14 +140,17 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 					if !ok {
 						break // unresponsive targets never answer any attempt
 					}
+					cell.Replies++
 					if !bestSet || rtt < best {
 						best, bestSet = rtt, true
 					}
 				}
 				if bestSet {
+					rtts.Observe(best.Seconds())
 					samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: best})
 				}
 			}
+			si.Done.Inc()
 			if len(samples) == 0 {
 				continue
 			}
@@ -130,9 +160,15 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 				VPs:      len(samples),
 			})
 		}
+		ssp.End()
 	})
 	rep.ProbesSent = probes
 	c.Gate.Observe(probes)
+	si.Probes.Add(probes)
+	_, replies := obs.MergeCells(cells)
+	si.Replies.Add(replies)
+	si.Denied.Add(int64(rep.Usage.OptOutTargets + rep.Usage.BudgetTargets))
+	si.End()
 	for _, o := range outcomes {
 		rep.Outcomes[o.TargetID] = o
 	}
@@ -190,7 +226,11 @@ func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Ca
 			return tg, int64(addrs) * int64(len(c.VPs))
 		})
 	}
+	si := c.Obs.Stage(SweepStage, len(targetIDs))
+	cells := make([]obs.Cell, par.NumShards(len(targetIDs), c.Parallelism))
 	out, probes := par.Gather(len(targetIDs), c.Parallelism, func(start, end int, sh *par.Shard[AddrSweepOutcome]) {
+		cell := &cells[sh.Index]
+		ssp := si.Span.Child("shard" + strconv.Itoa(sh.Index))
 		samples := make([]igreedy.Sample, 0, len(c.VPs))
 		offs := make([]uint8, 0, len(offsets)+1)
 		for _, id := range targetIDs[start:end] {
@@ -207,6 +247,7 @@ func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Ca
 					if !ok {
 						continue
 					}
+					cell.Replies++
 					samples = append(samples, igreedy.Sample{VP: vp.Name, Loc: vp.Loc, RTT: rtt})
 				}
 				if len(samples) < 2 {
@@ -223,9 +264,16 @@ func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Ca
 			if o.RepresentativeAnycast || len(o.AnycastOffsets) > 0 {
 				sh.Out = append(sh.Out, o)
 			}
+			si.Done.Inc()
 		}
+		ssp.End()
 	})
 	c.Gate.Observe(probes)
+	si.Probes.Add(probes)
+	_, replies := obs.MergeCells(cells)
+	si.Replies.Add(replies)
+	si.Denied.Add(int64(usage.OptOutTargets + usage.BudgetTargets))
+	si.End()
 	return out, probes, usage
 }
 

@@ -14,15 +14,24 @@ package manycast
 import (
 	"fmt"
 	"math/bits"
+	"strconv"
+	"strings"
 	"time"
 
 	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/par"
 	"github.com/laces-project/laces/internal/rate"
 )
+
+// StageLabel names the anycast-based stage's metric label for a
+// protocol run: anycast_icmp, anycast_tcp or anycast_dns.
+func StageLabel(p packet.Protocol) string {
+	return "anycast_" + strings.ToLower(p.String())
+}
 
 // Options configures one anycast-based measurement.
 type Options struct {
@@ -60,6 +69,11 @@ type Options struct {
 	// Result.Usage — never silently dropped. A nil gate admits
 	// everything, reproducing the ungoverned run byte-for-byte.
 	Gate *budget.Gate
+	// Obs receives the stage's telemetry (laces_stage_* series, the
+	// pipeline span and live progress). Nil disables instrumentation;
+	// telemetry never changes the result — the census is byte-identical
+	// with Obs set or nil.
+	Obs *obs.Registry
 }
 
 // DefaultRate is the daily-census hitlist rate in targets per second.
@@ -170,11 +184,20 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 		})
 	}
 
+	// Stage telemetry: per-shard cells absorb the hot-loop counting (no
+	// shared atomics on the probe path), merged into the laces_stage_*
+	// series after the shards join. All handles are no-ops when Obs is
+	// nil, and nothing below feeds back into the result.
+	si := opts.Obs.Stage(StageLabel(opts.Protocol), len(entries))
+	cells := make([]obs.Cell, par.NumShards(len(entries), opts.Parallelism))
+
 	// Sharded execution: contiguous hitlist ranges probed concurrently,
 	// each into its own observation buffer and probe counter. Every probe
 	// is a pure function of (seed, target, worker, schedule), so merging
 	// the buffers in shard order reproduces the sequential run exactly.
-	obs, probes := par.Gather(len(entries), opts.Parallelism, func(start, end int, sh *par.Shard[TargetObs]) {
+	observations, probes := par.Gather(len(entries), opts.Parallelism, func(start, end int, sh *par.Shard[TargetObs]) {
+		cell := &cells[sh.Index]
+		ssp := si.Span.Child("shard" + strconv.Itoa(sh.Index))
 		for i := start; i < end; i++ {
 			e := entries[i]
 			tg := &targets[e.TargetID]
@@ -199,6 +222,7 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 				}
 				sh.Count++
 				if del, ok := w.ProbeAnycast(d, wk, tg, ctx); ok {
+					cell.Replies++
 					if opts.MissingWorkers[del.WorkerIdx] {
 						// Replies routed to a dead site are lost.
 						continue
@@ -209,11 +233,18 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 			if mask != 0 {
 				sh.Out = append(sh.Out, TargetObs{TargetID: e.TargetID, Receivers: mask})
 			}
+			si.Done.Inc()
 		}
+		ssp.End()
 	})
-	res.Observations, res.ProbesSent = obs, probes
+	res.Observations, res.ProbesSent = observations, probes
 	res.Duration = pacer.Duration(len(entries), d.NumSites())
 	opts.Gate.Observe(probes)
+	si.Probes.Add(probes)
+	_, replies := obs.MergeCells(cells)
+	si.Replies.Add(replies)
+	si.Denied.Add(int64(res.Usage.OptOutTargets + res.Usage.BudgetTargets))
+	si.End()
 	return res, nil
 }
 

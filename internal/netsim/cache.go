@@ -24,8 +24,14 @@ type routingShard struct {
 }
 
 // routingCache is the sharded memoisation store embedded in World.
+// tel, when installed via World.SetTelemetry, receives hit/miss
+// accounting. The reply cache counts only on its cold store path (the
+// warm lookup is completely untouched — hits are derived, see
+// Telemetry.CacheHitsReply); the site cache counts one packed striped
+// add per lookup. Counting never changes what a lookup returns.
 type routingCache struct {
 	shards [numCacheShards]routingShard
+	tel    *Telemetry
 }
 
 // init allocates the shard maps (called once from New).
@@ -86,8 +92,14 @@ func (c *routingCache) lookupReply(k replyKey) (replyVal, bool) {
 	return v, ok
 }
 
-// storeReply memoises a computed reply catchment.
+// storeReply memoises a computed reply catchment. Every store is a
+// preceding lookup miss, so miss accounting lives here on the cold
+// compute path — the warm lookup path carries no counting at all
+// (hits are derived; see Telemetry.CacheHitsReply).
 func (c *routingCache) storeReply(k replyKey, v replyVal) {
+	if t := c.tel; t != nil {
+		t.replyMisses.Add(k.salt, 1)
+	}
 	sh := c.replyShard(k)
 	sh.mu.Lock()
 	sh.reply[k] = v
@@ -100,6 +112,9 @@ func (c *routingCache) lookupSite(k siteKey) (uint16, bool) {
 	sh.mu.RLock()
 	v, ok := sh.site[k]
 	sh.mu.RUnlock()
+	if t := c.tel; t != nil {
+		countLookup(&t.cacheSite, uint64(uint32(k.tgID)), ok)
+	}
 	return v, ok
 }
 

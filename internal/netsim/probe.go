@@ -50,6 +50,15 @@ func isV6(tg *Target) bool { return tg.Addr.Is6() && !tg.Addr.Is4In6() }
 // (possibly a different worker — that is the measurement principle) or
 // ok=false when the target does not respond.
 func (w *World) ProbeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx) (Delivery, bool) {
+	del, ok := w.probeAnycast(d, worker, tg, ctx)
+	if t := w.tel; t != nil {
+		countProbe(&t.anycast, uint64(tg.ID), ok)
+	}
+	return del, ok
+}
+
+// probeAnycast is ProbeAnycast without the accounting wrapper.
+func (w *World) probeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx) (Delivery, bool) {
 	proto := ctx.Flow.Proto
 	if !tg.Responsive[proto] {
 		return Delivery{}, false
@@ -117,6 +126,15 @@ func (w *World) ProbeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx
 // (the GCD stage): it returns the measured RTT and the responding site
 // index (-1 for unicast responders), or ok=false when unresponsive.
 func (w *World) ProbeUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
+	rtt, site, ok := w.probeUnicastFull(vp, tg, proto, at, seq)
+	if t := w.tel; t != nil {
+		countProbe(&t.unicast, uint64(tg.ID), ok)
+	}
+	return rtt, site, ok
+}
+
+// probeUnicastFull is ProbeUnicast without the accounting wrapper.
+func (w *World) probeUnicastFull(vp VP, tg *Target, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
 	if !tg.Responsive[proto] {
 		return 0, -1, false
 	}
@@ -188,6 +206,15 @@ func (w *World) probeUnicast(vp VP, tg *Target, proto packet.Protocol, at time.T
 // non-representative addresses are unicast and only probabilistically
 // responsive. This is the primitive behind the GCD_IPv4 sweep (§5.7).
 func (w *World) ProbeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
+	rtt, site, ok := w.probeUnicastAddr(vp, tg, offset, proto, at, seq)
+	if t := w.tel; t != nil {
+		countProbe(&t.unicast, uint64(tg.ID), ok)
+	}
+	return rtt, site, ok
+}
+
+// probeUnicastAddr is ProbeUnicastAddr without the accounting wrapper.
+func (w *World) probeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
 	if tg.Kind == PartialAnycast {
 		for _, a := range tg.PartialAddrs {
 			if a == offset {
@@ -205,7 +232,7 @@ func (w *World) ProbeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.P
 		}
 	}
 	if repOffset(tg) == offset {
-		return w.ProbeUnicast(vp, tg, proto, at, seq)
+		return w.probeUnicastFull(vp, tg, proto, at, seq)
 	}
 	// Non-representative addresses: responsive with moderate probability.
 	if !chance(mix(w.seed, uint64(tg.ID), uint64(offset), 0x3e59), 0.3) {

@@ -224,6 +224,11 @@ func (w *World) tieWidth(d *Deployment, tg *Target) int {
 
 // receiver resolves which deployment site receives the reply to the
 // probe sent by worker, from a responder at (asn, fromCity).
+//
+// receiver is called exactly once per delivered anycast-stage probe
+// and from nowhere else — telemetry derives reply-cache hit counts
+// from that identity (see Telemetry.CacheHitsReply), so a new caller
+// must also revisit that accounting.
 func (w *World) receiver(d *Deployment, tg *Target, fromCity, worker int, flow FlowKey, at int64, day int) int {
 	v := w.replyCatchment(d, tg.Origin, fromCity)
 	if v.n == 0 {

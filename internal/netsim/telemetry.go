@@ -1,0 +1,166 @@
+package netsim
+
+import "github.com/laces-project/laces/internal/obs"
+
+// telReply and telMiss are the high packed field of one telemetry add:
+// each probe (or cache lookup) lands as a single striped atomic update
+// carrying both halves of its event pair — probe issued + reply
+// delivered, or lookup + miss — so the instrumented hot path pays one
+// atomic per probe, not two. obs.Striped.Split unpacks per stripe, so
+// the 32-bit fields are good for ~2.7×10^11 events at uniform spread.
+const (
+	telReply = int64(1) << 32
+	telMiss  = int64(1) << 32
+)
+
+// Telemetry is the simulator's probe-level accounting: issued probes,
+// delivered replies and routing-cache hit/miss counts, all striped
+// counters so the parallel census engine updates them without
+// contention. A World carries no telemetry by default; SetTelemetry
+// installs it under the same contract as SetImpairer (swap only
+// between measurements), and the probe hot path pays a single nil
+// check when disabled — the allocation guard in telemetry_test.go pins
+// both paths at zero allocs.
+//
+// Counting never feeds back into routing, latency or responsiveness
+// decisions, so census output is byte-identical with telemetry on or
+// off.
+type Telemetry struct {
+	anycast obs.Striped // lo: probes issued, hi: replies delivered
+	unicast obs.Striped // lo: probes issued, hi: replies delivered
+
+	// replyMisses counts reply-catchment recomputations on the cache
+	// miss (compute + store) path only. Lookup totals are not counted
+	// on the hot path at all: every delivered anycast-stage probe
+	// resolves its reply catchment exactly once (receiver is called
+	// from the success arms of probeAnycast and nowhere else), so
+	// lookups == RepliesAnycast and hits are derived as replies −
+	// misses. TestTelemetryCounts pins that identity.
+	replyMisses obs.Striped
+	cacheSite   obs.Striped // lo: lookups, hi: misses
+}
+
+// countProbe records one probe (and its reply, when delivered) with a
+// single striped add.
+func countProbe(s *obs.Striped, key uint64, ok bool) {
+	n := int64(1)
+	if ok {
+		n |= telReply
+	}
+	s.Add(key, n)
+}
+
+// countLookup records one cache lookup (and whether it missed) with a
+// single striped add.
+func countLookup(s *obs.Striped, key uint64, hit bool) {
+	n := int64(1)
+	if !hit {
+		n |= telMiss
+	}
+	s.Add(key, n)
+}
+
+// ProbesAnycast returns the number of anycast-stage probes issued.
+func (t *Telemetry) ProbesAnycast() int64 {
+	if t == nil {
+		return 0
+	}
+	p, _ := t.anycast.Split()
+	return p
+}
+
+// RepliesAnycast returns the number of anycast-stage replies delivered.
+func (t *Telemetry) RepliesAnycast() int64 {
+	if t == nil {
+		return 0
+	}
+	_, r := t.anycast.Split()
+	return r
+}
+
+// ProbesUnicast returns the number of unicast (GCD/sweep) probes issued.
+func (t *Telemetry) ProbesUnicast() int64 {
+	if t == nil {
+		return 0
+	}
+	p, _ := t.unicast.Split()
+	return p
+}
+
+// RepliesUnicast returns the number of unicast replies delivered.
+func (t *Telemetry) RepliesUnicast() int64 {
+	if t == nil {
+		return 0
+	}
+	_, r := t.unicast.Split()
+	return r
+}
+
+// CacheHitsReply returns reply-catchment cache lookups answered from
+// cache, derived as delivered anycast-stage probes minus recomputations
+// (see the replyMisses field comment; clamped at zero in case telemetry
+// was installed mid-run with a cold cache).
+func (t *Telemetry) CacheHitsReply() int64 {
+	if t == nil {
+		return 0
+	}
+	h := t.RepliesAnycast() - t.replyMisses.Value()
+	if h < 0 {
+		return 0
+	}
+	return h
+}
+
+// CacheMissesReply returns reply-catchment cache lookups that recomputed.
+func (t *Telemetry) CacheMissesReply() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.replyMisses.Value()
+}
+
+// CacheHitsSite returns target-catchment cache lookups answered from cache.
+func (t *Telemetry) CacheHitsSite() int64 {
+	if t == nil {
+		return 0
+	}
+	n, m := t.cacheSite.Split()
+	return n - m
+}
+
+// CacheMissesSite returns target-catchment cache lookups that recomputed.
+func (t *Telemetry) CacheMissesSite() int64 {
+	if t == nil {
+		return 0
+	}
+	_, m := t.cacheSite.Split()
+	return m
+}
+
+// Register exposes the telemetry as func-backed registry series, read
+// at scrape/snapshot time.
+func (t *Telemetry) Register(r *obs.Registry) {
+	if t == nil || r == nil {
+		return
+	}
+	probes := "Probes issued against the simulated Internet."
+	replies := "Probe replies delivered by the simulated Internet."
+	hits := "Routing-cache lookups answered from cache."
+	misses := "Routing-cache lookups that recomputed the route."
+	r.CounterFunc("laces_netsim_probes_total", probes,
+		func() float64 { return float64(t.ProbesAnycast()) }, obs.L("kind", "anycast"))
+	r.CounterFunc("laces_netsim_probes_total", probes,
+		func() float64 { return float64(t.ProbesUnicast()) }, obs.L("kind", "unicast"))
+	r.CounterFunc("laces_netsim_replies_total", replies,
+		func() float64 { return float64(t.RepliesAnycast()) }, obs.L("kind", "anycast"))
+	r.CounterFunc("laces_netsim_replies_total", replies,
+		func() float64 { return float64(t.RepliesUnicast()) }, obs.L("kind", "unicast"))
+	r.CounterFunc("laces_netsim_cache_hits_total", hits,
+		func() float64 { return float64(t.CacheHitsReply()) }, obs.L("cache", "reply"))
+	r.CounterFunc("laces_netsim_cache_hits_total", hits,
+		func() float64 { return float64(t.CacheHitsSite()) }, obs.L("cache", "site"))
+	r.CounterFunc("laces_netsim_cache_misses_total", misses,
+		func() float64 { return float64(t.CacheMissesReply()) }, obs.L("cache", "reply"))
+	r.CounterFunc("laces_netsim_cache_misses_total", misses,
+		func() float64 { return float64(t.CacheMissesSite()) }, obs.L("cache", "site"))
+}

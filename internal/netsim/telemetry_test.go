@@ -1,0 +1,164 @@
+package netsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"github.com/laces-project/laces/internal/obs"
+	"github.com/laces-project/laces/internal/packet"
+)
+
+// TestTelemetryCounts pins the probe accounting: issued and delivered
+// counts move, cache lookups split into hits and misses, and counting
+// does not change what a probe returns.
+func TestTelemetryCounts(t *testing.T) {
+	w, err := New(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tangled(t, w, PolicyUnmodified)
+	tg := responsiveTarget(t, w)
+	ctx := ProbeCtx{
+		At:   DayTime(3),
+		Flow: FlowKey{Proto: packet.ICMP, StaticFlow: 1},
+		Gap:  time.Second,
+		Seq:  uint64(tg.ID),
+	}
+	base, baseOK := w.ProbeAnycast(d, 0, tg, ctx)
+
+	tel := &Telemetry{}
+	w.SetTelemetry(tel)
+	del, ok := w.ProbeAnycast(d, 0, tg, ctx)
+	if ok != baseOK || del != base {
+		t.Fatal("telemetry changed the probe result")
+	}
+	if tel.ProbesAnycast() != 1 {
+		t.Fatalf("anycast probes = %d, want 1", tel.ProbesAnycast())
+	}
+	if baseOK && tel.RepliesAnycast() != 1 {
+		t.Fatalf("anycast replies = %d, want 1", tel.RepliesAnycast())
+	}
+	// The warm repeat hits the routing caches.
+	hits := tel.CacheHitsReply() + tel.CacheHitsSite()
+	if hits == 0 {
+		t.Fatal("warm probe recorded no cache hits")
+	}
+	// Reply-cache hits are derived from the one-lookup-per-delivered-
+	// probe identity (see receiver); hits + misses must account for
+	// every delivered anycast probe.
+	if got := tel.CacheHitsReply() + tel.CacheMissesReply(); got != tel.RepliesAnycast() {
+		t.Fatalf("reply-cache lookups = %d, want %d (one per delivered anycast probe)",
+			got, tel.RepliesAnycast())
+	}
+
+	vp, err := w.NewVP("tel-vp", "Amsterdam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.ProbeUnicast(vp, tg, packet.ICMP, DayTime(3), 1)
+	if tel.ProbesUnicast() != 1 {
+		t.Fatalf("unicast probes = %d, want 1", tel.ProbesUnicast())
+	}
+	// The /32 sweep's representative-offset delegation must count once.
+	before := tel.ProbesUnicast()
+	w.ProbeUnicastAddr(vp, tg, repOffset(tg), packet.ICMP, DayTime(3), 1)
+	if got := tel.ProbesUnicast() - before; got != 1 {
+		t.Fatalf("sweep probe counted %d times, want 1", got)
+	}
+
+	// Registration exposes the eight netsim series.
+	reg := obs.New()
+	tel.Register(reg)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`laces_netsim_probes_total{kind="anycast"}`,
+		`laces_netsim_probes_total{kind="unicast"}`,
+		`laces_netsim_replies_total{kind="anycast"}`,
+		`laces_netsim_cache_hits_total{cache="reply"}`,
+		`laces_netsim_cache_misses_total{cache="site"}`,
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Fatalf("exposition missing %s:\n%s", want, buf.String())
+		}
+	}
+
+	// Uninstalling stops the counting.
+	w.SetTelemetry(nil)
+	w.ProbeAnycast(d, 0, tg, ctx)
+	if tel.ProbesAnycast() != 1 {
+		t.Fatal("uninstalled telemetry still counting")
+	}
+}
+
+// TestProbeHotPathNoAllocsInstrumented extends the Impairer guard to
+// telemetry (the observability satellite): with a live Telemetry
+// installed, the warm anycast and unicast probe paths must stay
+// allocation-free — instrumentation may not tax the census hot loop.
+func TestProbeHotPathNoAllocsInstrumented(t *testing.T) {
+	w, err := New(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tangled(t, w, PolicyUnmodified)
+	tg := responsiveTarget(t, w)
+	ctx := ProbeCtx{
+		At:   DayTime(3),
+		Flow: FlowKey{Proto: packet.ICMP, StaticFlow: 1},
+		Gap:  time.Second,
+		Seq:  uint64(tg.ID),
+	}
+	w.SetTelemetry(&Telemetry{})
+	defer w.SetTelemetry(nil)
+	w.ProbeAnycast(d, 0, tg, ctx) // warm the routing caches
+	if allocs := testing.AllocsPerRun(200, func() {
+		w.ProbeAnycast(d, 0, tg, ctx)
+	}); allocs != 0 {
+		t.Fatalf("instrumented warm anycast probe allocates %.1f objects per run, want 0", allocs)
+	}
+
+	vp, err := w.NewVP("alloc-vp", "Amsterdam", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := DayTime(3)
+	w.ProbeUnicast(vp, tg, packet.ICMP, at, 1)
+	if allocs := testing.AllocsPerRun(200, func() {
+		w.ProbeUnicast(vp, tg, packet.ICMP, at, 1)
+	}); allocs != 0 {
+		t.Fatalf("instrumented warm unicast probe allocates %.1f objects per run, want 0", allocs)
+	}
+}
+
+// TestProbeHotPathNoAllocsDisabled pins the disabled-registry side of
+// the same guard: handles resolved from a nil obs.Registry cost one
+// branch and zero allocations around the probe call.
+func TestProbeHotPathNoAllocsDisabled(t *testing.T) {
+	w, err := New(TestConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := tangled(t, w, PolicyUnmodified)
+	tg := responsiveTarget(t, w)
+	ctx := ProbeCtx{
+		At:   DayTime(3),
+		Flow: FlowKey{Proto: packet.ICMP, StaticFlow: 1},
+		Gap:  time.Second,
+		Seq:  uint64(tg.ID),
+	}
+	var reg *obs.Registry // disabled telemetry
+	probes := reg.Counter("laces_stage_probes_total", "")
+	done := reg.ProgressDone()
+	w.ProbeAnycast(d, 0, tg, ctx) // warm the routing caches
+	if allocs := testing.AllocsPerRun(200, func() {
+		w.ProbeAnycast(d, 0, tg, ctx)
+		probes.Inc()
+		done.Inc()
+	}); allocs != 0 {
+		t.Fatalf("disabled-registry probe path allocates %.1f objects per run, want 0", allocs)
+	}
+}

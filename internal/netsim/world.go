@@ -13,9 +13,9 @@ import (
 // latency model on top. A World is immutable after New and safe for
 // concurrent use — the routing memoisation behind probes is sharded
 // (see cache.go), so the parallel census engine can probe from every core
-// without serialising on a global lock. The one exception remains
-// SetImpairer: it swaps the fault-injection hook and must not race with
-// in-flight probes.
+// without serialising on a global lock. The exceptions remain SetImpairer
+// and SetTelemetry: they swap the fault-injection and accounting hooks
+// and must not race with in-flight probes.
 type World struct {
 	Cfg Config
 	DB  *cities.DB
@@ -37,6 +37,7 @@ type World struct {
 	dist    []float64 // nCities × nCities great circle km
 
 	imp Impairer
+	tel *Telemetry
 
 	cache routingCache
 }
@@ -74,6 +75,18 @@ func (w *World) SetImpairer(i Impairer) { w.imp = i }
 
 // Impairer returns the currently installed fault-injection hook, or nil.
 func (w *World) Impairer() Impairer { return w.imp }
+
+// SetTelemetry installs (or, with nil, removes) the probe-accounting
+// hook. Like SetImpairer, call it only between measurements. With no
+// telemetry installed the probe hot path pays a single nil check;
+// counting never alters measurement results.
+func (w *World) SetTelemetry(t *Telemetry) {
+	w.tel = t
+	w.cache.tel = t
+}
+
+// Telemetry returns the currently installed probe accounting, or nil.
+func (w *World) Telemetry() *Telemetry { return w.tel }
 
 // Seed exposes the world's derived seed so deterministic subsystems
 // (internal/chaos) can key their hash decisions off it.

@@ -1,0 +1,93 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"time"
+)
+
+// maxEvents bounds the per-registry event ring.
+const maxEvents = 256
+
+// Event is one structured operational event: a kind plus ordered
+// key=value fields (worker disconnects, governance interventions).
+type Event struct {
+	At     time.Time `json:"at"`
+	Kind   string    `json:"kind"`
+	Fields []Label   `json:"fields,omitempty"`
+}
+
+// String renders the event as one structured log line:
+// "kind k1=v1 k2=v2".
+func (e Event) String() string {
+	var sb strings.Builder
+	sb.WriteString(e.Kind)
+	for _, f := range e.Fields {
+		sb.WriteByte(' ')
+		sb.WriteString(f.Name)
+		sb.WriteByte('=')
+		sb.WriteString(f.Value)
+	}
+	return sb.String()
+}
+
+// eventLog is a bounded ring of recent events plus an optional sink.
+type eventLog struct {
+	mu    sync.Mutex
+	ring  []Event
+	next  int
+	total int64
+	sink  func(Event)
+}
+
+// Event records a structured event and forwards it to the sink, if one
+// is installed. Field order is preserved.
+func (r *Registry) Event(kind string, fields ...Label) {
+	if r == nil {
+		return
+	}
+	ev := Event{At: time.Now(), Kind: kind, Fields: fields}
+	l := &r.events
+	l.mu.Lock()
+	if len(l.ring) < maxEvents {
+		l.ring = append(l.ring, ev)
+	} else {
+		l.ring[l.next] = ev
+		l.next = (l.next + 1) % maxEvents
+	}
+	l.total++
+	sink := l.sink
+	l.mu.Unlock()
+	if sink != nil {
+		sink(ev)
+	}
+}
+
+// OnEvent installs a synchronous event sink (a structured logger). One
+// sink at a time; nil uninstalls.
+func (r *Registry) OnEvent(sink func(Event)) {
+	if r == nil {
+		return
+	}
+	r.events.mu.Lock()
+	r.events.sink = sink
+	r.events.mu.Unlock()
+}
+
+// Events returns the retained events, oldest first.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	l := &r.events
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, 0, len(l.ring))
+	if len(l.ring) == maxEvents {
+		out = append(out, l.ring[l.next:]...)
+		out = append(out, l.ring[:l.next]...)
+	} else {
+		out = append(out, l.ring...)
+	}
+	return out
+}

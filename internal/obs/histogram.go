@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefLatencyBuckets are the default latency bounds in seconds, matching
+// the conventional Prometheus ladder: microsecond-scale simulator stages
+// through multi-minute census runs.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// DefSizeBuckets are the default size bounds in bytes: exponential from
+// 64 B (one small wire frame) to 16 MiB (the wire frame cap).
+var DefSizeBuckets = []float64{
+	64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304, 16777216,
+}
+
+// Histogram is a fixed-bucket histogram with atomic bucket counts, an
+// atomic observation count and a lock-free float sum. Bucket bounds are
+// immutable after construction, so Observe is allocation-free. Nil-safe
+// like the other instruments.
+type Histogram struct {
+	// bounds are the ascending upper bounds; observations above the last
+	// bound land in the implicit +Inf bucket.
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, last is +Inf
+	count   atomic.Int64
+	sum     FloatCounter
+}
+
+// newHistogram builds a histogram over the given bounds (defaulting to
+// DefLatencyBuckets when empty).
+func newHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefLatencyBuckets
+	}
+	return &Histogram{
+		bounds:  bounds,
+		buckets: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one observation.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// ObserveDuration records a duration in seconds.
+func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Value()
+}
+
+// Bounds returns the bucket upper bounds (excluding +Inf).
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// BucketCounts returns the per-bucket (non-cumulative) counts, the last
+// entry being the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]int64, len(h.buckets))
+	for i := range h.buckets {
+		out[i] = h.buckets[i].Load()
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// progressState tracks the census's current stage for the live
+// progress stream: stage name, target total, a hot-path done counter
+// and an optional budget-remaining reader.
+type progressState struct {
+	mu         sync.Mutex
+	stage      string
+	total      int64
+	stageStart time.Time
+	done       Counter
+	budgetFn   func() int64
+}
+
+// BeginStage marks the start of a pipeline stage processing total
+// targets, resetting the per-stage progress counter.
+func (r *Registry) BeginStage(stage string, total int64) {
+	if r == nil {
+		return
+	}
+	p := &r.progress
+	p.mu.Lock()
+	p.stage = stage
+	p.total = total
+	p.stageStart = time.Now()
+	p.mu.Unlock()
+	p.done.reset()
+}
+
+// ProgressDone returns the per-stage done counter: stage loops bump it
+// once per processed target so the progress stream can show live rate
+// and ETA. Nil registry returns a nil (no-op) counter.
+func (r *Registry) ProgressDone() *Counter {
+	if r == nil {
+		return nil
+	}
+	return &r.progress.done
+}
+
+// SetBudgetFunc installs a reader for the remaining global probe
+// budget, shown on the progress line; nil (or a never-installed
+// reader) omits it.
+func (r *Registry) SetBudgetFunc(fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.progress.mu.Lock()
+	r.progress.budgetFn = fn
+	r.progress.mu.Unlock()
+}
+
+// Progress is one sample of the census's live state.
+type Progress struct {
+	Stage   string
+	Done    int64
+	Total   int64
+	Elapsed time.Duration // since the stage began
+	// BudgetRemaining is the unspent global budget, or -1 when no
+	// budget reader is installed.
+	BudgetRemaining int64
+}
+
+// Progress samples the current stage state.
+func (r *Registry) Progress() Progress {
+	if r == nil {
+		return Progress{BudgetRemaining: -1}
+	}
+	p := &r.progress
+	p.mu.Lock()
+	out := Progress{
+		Stage:           p.stage,
+		Total:           p.total,
+		BudgetRemaining: -1,
+	}
+	if !p.stageStart.IsZero() {
+		out.Elapsed = time.Since(p.stageStart)
+	}
+	fn := p.budgetFn
+	p.mu.Unlock()
+	out.Done = p.done.Value()
+	if fn != nil {
+		out.BudgetRemaining = fn()
+	}
+	return out
+}
+
+// ProgressStream is a live census progress line: a background ticker
+// rendering stage, throughput, ETA and remaining budget to a terminal
+// (stderr), rewriting in place with "\r".
+type ProgressStream struct {
+	r        *Registry
+	w        io.Writer
+	interval time.Duration
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// StartProgress launches the progress stream, sampling the registry
+// every interval (defaulting to 500 ms). Call Stop to end it; a nil
+// registry returns a stream whose Stop is a no-op.
+func (r *Registry) StartProgress(w io.Writer, interval time.Duration) *ProgressStream {
+	if r == nil || w == nil {
+		return &ProgressStream{}
+	}
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	ps := &ProgressStream{
+		r:        r,
+		w:        w,
+		interval: interval,
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	go ps.run()
+	return ps
+}
+
+// Stop halts the stream, printing a final sample and a newline.
+func (ps *ProgressStream) Stop() {
+	if ps.stop == nil {
+		return
+	}
+	close(ps.stop)
+	<-ps.done
+}
+
+func (ps *ProgressStream) run() {
+	defer close(ps.done)
+	t := time.NewTicker(ps.interval)
+	defer t.Stop()
+	var lastDone int64
+	lastAt := time.Now()
+	var width int
+	for {
+		select {
+		case <-t.C:
+			now := time.Now()
+			p := ps.r.Progress()
+			rate := float64(p.Done-lastDone) / now.Sub(lastAt).Seconds()
+			lastDone, lastAt = p.Done, now
+			width = ps.render(p, rate, width)
+		case <-ps.stop:
+			p := ps.r.Progress()
+			ps.render(p, 0, width)
+			fmt.Fprintln(ps.w)
+			return
+		}
+	}
+}
+
+// render writes one in-place progress line, padding to the previous
+// line's width so shrinking lines do not leave stale tails.
+func (ps *ProgressStream) render(p Progress, rate float64, prevWidth int) int {
+	line := "census: starting"
+	if p.Stage != "" {
+		line = fmt.Sprintf("census: stage=%s %d/%d targets", p.Stage, p.Done, p.Total)
+		if p.Total > 0 {
+			line += fmt.Sprintf(" (%.1f%%)", 100*float64(p.Done)/float64(p.Total))
+		}
+		if rate > 0 {
+			line += fmt.Sprintf(" %.0f targets/s", rate)
+			if left := p.Total - p.Done; left > 0 {
+				line += fmt.Sprintf(" eta %.1fs", float64(left)/rate)
+			}
+		}
+		if p.BudgetRemaining >= 0 {
+			line += fmt.Sprintf(" budget %d", p.BudgetRemaining)
+		}
+	}
+	w := len(line)
+	for len(line) < prevWidth {
+		line += " "
+	}
+	fmt.Fprintf(ps.w, "\r%s", line)
+	return w
+}

@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxSpans bounds the per-registry span log. A census run produces a
+// few hundred spans (one per stage plus one per shard per stage);
+// long-lived servers drop the excess rather than grow without bound.
+const maxSpans = 4096
+
+// SpanRecord is one completed span as it appears in a Snapshot. Path
+// encodes the hierarchy with "/" separators: "census/anycast_icmp/
+// shard3" is a shard span inside a stage span inside the census span.
+type SpanRecord struct {
+	Path    string    `json:"path"`
+	Start   time.Time `json:"start"`
+	Seconds float64   `json:"seconds"`
+}
+
+// spanLog is the bounded completed-span list.
+type spanLog struct {
+	mu      sync.Mutex
+	records []SpanRecord
+	dropped int64
+}
+
+// Span is an in-flight timed section of the pipeline. Spans form a
+// tree via Child; ending a span appends its record to the registry.
+// Methods on a nil *Span (from a disabled registry) are no-ops, so
+// stage code creates and ends spans unconditionally.
+type Span struct {
+	r     *Registry
+	path  string
+	start time.Time
+}
+
+// StartSpan opens a root span named path.
+func (r *Registry) StartSpan(path string) *Span {
+	if r == nil {
+		return nil
+	}
+	return &Span{r: r, path: path, start: time.Now()}
+}
+
+// Child opens a sub-span: its path is the parent's path plus "/name".
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+}
+
+// End closes the span, recording its duration, and returns it.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.start)
+	l := &s.r.spans
+	l.mu.Lock()
+	if len(l.records) < maxSpans {
+		l.records = append(l.records, SpanRecord{Path: s.path, Start: s.start, Seconds: d.Seconds()})
+	} else {
+		l.dropped++
+	}
+	l.mu.Unlock()
+	return d
+}
+
+// Spans returns the completed spans in completion order.
+func (r *Registry) Spans() []SpanRecord {
+	if r == nil {
+		return nil
+	}
+	r.spans.mu.Lock()
+	defer r.spans.mu.Unlock()
+	out := make([]SpanRecord, len(r.spans.records))
+	copy(out, r.spans.records)
+	return out
+}

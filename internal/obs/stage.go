@@ -1,0 +1,64 @@
+package obs
+
+// Shared instrumentation for the census pipeline's measurement stages
+// (manycast, gcdmeas, chaosdns). Every stage resolves the same four
+// metric families — labelled by stage name — plus the progress counter
+// and a pipeline span, through one Stage call, so the exposition stays
+// uniform and a new stage cannot invent divergent series names.
+
+// Cell is one shard's telemetry accumulator for a sharded stage loop:
+// shard s writes only cell s (plain fields, no atomics), and the totals
+// merge into the stage counters after the loop joins. Padding keeps
+// neighbouring shards off each other's cache line.
+type Cell struct {
+	Probes  int64
+	Replies int64
+	_       [48]byte
+}
+
+// MergeCells sums a per-shard cell slice after the loop has joined.
+func MergeCells(cells []Cell) (probes, replies int64) {
+	for i := range cells {
+		probes += cells[i].Probes
+		replies += cells[i].Replies
+	}
+	return probes, replies
+}
+
+// StageInstruments bundles the handles one census stage run uses. All
+// fields are nil (no-op) when resolved from a nil registry, so stages
+// instrument unconditionally at the cost of one branch per update.
+type StageInstruments struct {
+	Probes  *Counter   // laces_stage_probes_total{stage=...}
+	Replies *Counter   // laces_stage_replies_total{stage=...}
+	Denied  *Counter   // laces_stage_denied_total{stage=...}
+	Seconds *Histogram // laces_stage_seconds{stage=...}
+	Done    *Counter   // the shared live-progress counter
+	Span    *Span      // "census/<stage>"
+}
+
+// Stage begins one stage run over total targets: it resolves the stage's
+// metric handles, opens its pipeline span and resets the live-progress
+// state. Close the run with End.
+func (r *Registry) Stage(stage string, total int) StageInstruments {
+	si := StageInstruments{
+		Probes: r.Counter("laces_stage_probes_total",
+			"Probes transmitted per census stage.", L("stage", stage)),
+		Replies: r.Counter("laces_stage_replies_total",
+			"Replies received per census stage.", L("stage", stage)),
+		Denied: r.Counter("laces_stage_denied_total",
+			"Targets denied by the responsible-probing gate per census stage.", L("stage", stage)),
+		Seconds: r.Histogram("laces_stage_seconds",
+			"Wall-clock seconds per census stage run.", nil, L("stage", stage)),
+		Done: r.ProgressDone(),
+		Span: r.StartSpan("census/" + stage),
+	}
+	r.BeginStage(stage, int64(total))
+	return si
+}
+
+// End closes the stage run: the span is recorded and its duration
+// observed into the stage-seconds histogram.
+func (si StageInstruments) End() {
+	si.Seconds.Observe(si.Span.End().Seconds())
+}

@@ -12,10 +12,13 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/laces-project/laces/internal/budget"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/rate"
 	"github.com/laces-project/laces/internal/wire"
 )
@@ -39,6 +42,11 @@ type Config struct {
 	// opted-out prefix. Suppressed targets are reported in the Complete
 	// frame's Skipped count — never silently dropped.
 	OptOut *budget.Registry
+	// Obs receives the orchestrator's telemetry: control-plane frame and
+	// byte counts, connected-worker and in-flight-target gauges, rate
+	// pacer waits, and a worker_disconnect event per mid-run loss. Nil
+	// disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Orchestrator accepts workers and serves measurement requests.
@@ -48,6 +56,16 @@ type Orchestrator struct {
 	// ledger enforces responsible-probing governance on the streaming
 	// path; nil when the configuration enables none.
 	ledger *budget.Ledger
+
+	// stats is the shared control-plane traffic accounting every accepted
+	// connection feeds; disconnects counts workers lost mid-run (a nil
+	// no-op counter when Config.Obs is nil). rateWaits/rateWaitNanos
+	// accumulate the streaming limiters' pacing sleeps across
+	// measurements.
+	stats         *wire.Stats
+	disconnects   *obs.Counter
+	rateWaits     atomic.Int64
+	rateWaitNanos atomic.Int64
 
 	mu      sync.Mutex
 	workers map[int]*workerConn
@@ -63,10 +81,21 @@ type workerConn struct {
 
 // measurement is the state of the (single) in-flight measurement.
 type measurement struct {
+	id       uint16
+	total    atomic.Int64 // targets to stream (post-governance)
+	streamed atomic.Int64 // targets streamed to workers so far
 	results  chan wire.Result
 	done     chan int      // worker indices reporting completion
 	gone     chan int      // worker indices lost mid-measurement
 	finished chan struct{} // closed at teardown so producers never block
+}
+
+// outstanding returns the targets not yet streamed to workers.
+func (m *measurement) outstanding() int64 {
+	if out := m.total.Load() - m.streamed.Load(); out > 0 {
+		return out
+	}
+	return 0
 }
 
 // New starts listening.
@@ -85,9 +114,47 @@ func New(cfg Config) (*Orchestrator, error) {
 		cfg:     cfg,
 		ln:      ln,
 		workers: make(map[int]*workerConn),
+		stats:   &wire.Stats{},
 	}
 	if !cfg.Budget.IsZero() || cfg.OptOut != nil {
 		o.ledger = budget.NewLedger(cfg.Budget, cfg.OptOut)
+	}
+	o.disconnects = cfg.Obs.Counter("laces_orchestrator_worker_disconnects_total",
+		"Workers lost while connected to this orchestrator.")
+	if reg := cfg.Obs; reg != nil {
+		st := o.stats
+		reg.CounterFunc("laces_wire_frames_total",
+			"Control-plane frames moved, by direction.",
+			func() float64 { return float64(st.FramesTx()) }, obs.L("dir", "tx"))
+		reg.CounterFunc("laces_wire_frames_total",
+			"Control-plane frames moved, by direction.",
+			func() float64 { return float64(st.FramesRx()) }, obs.L("dir", "rx"))
+		reg.CounterFunc("laces_wire_bytes_total",
+			"Control-plane bytes moved (frame headers included), by direction.",
+			func() float64 { return float64(st.BytesTx()) }, obs.L("dir", "tx"))
+		reg.CounterFunc("laces_wire_bytes_total",
+			"Control-plane bytes moved (frame headers included), by direction.",
+			func() float64 { return float64(st.BytesRx()) }, obs.L("dir", "rx"))
+		reg.GaugeFunc("laces_orchestrator_workers",
+			"Workers currently connected.",
+			func() float64 { return float64(o.NumWorkers()) })
+		reg.GaugeFunc("laces_orchestrator_targets_inflight",
+			"Targets accepted but not yet streamed in the active measurement.",
+			func() float64 {
+				o.mu.Lock()
+				m := o.active
+				o.mu.Unlock()
+				if m == nil {
+					return 0
+				}
+				return float64(m.outstanding())
+			})
+		reg.CounterFunc("laces_rate_waits_total",
+			"Times the streaming rate limiter slept for a token.",
+			func() float64 { return float64(o.rateWaits.Load()) })
+		reg.CounterFunc("laces_rate_wait_seconds_total",
+			"Total time the streaming rate limiter spent pacing.",
+			func() float64 { return time.Duration(o.rateWaitNanos.Load()).Seconds() })
 	}
 	return o, nil
 }
@@ -116,7 +183,9 @@ func (o *Orchestrator) Serve(ctx context.Context) error {
 			}
 			return fmt.Errorf("orchestrator: accept: %w", err)
 		}
-		go o.handle(ctx, wire.NewConn(nc))
+		conn := wire.NewConn(nc)
+		conn.SetStats(o.stats)
+		go o.handle(ctx, conn)
 	}
 }
 
@@ -191,18 +260,36 @@ func (o *Orchestrator) handleWorker(conn *wire.Conn, hello wire.Hello) {
 
 // dropWorker removes a disconnected worker and informs the active
 // measurement so it does not wait for it (§4.2.3 failure awareness).
+// A loss mid-measurement emits one structured event — log line and obs
+// event — carrying the worker, the measurement and the targets still
+// unstreamed, so operators can judge the coverage impact at a glance.
 func (o *Orchestrator) dropWorker(idx int) {
 	o.mu.Lock()
+	wc := o.workers[idx]
 	delete(o.workers, idx)
 	m := o.active
 	o.mu.Unlock()
-	o.cfg.Logf("orchestrator: worker %d disconnected", idx)
+	o.disconnects.Inc()
+	name := ""
+	if wc != nil {
+		name = wc.name
+	}
 	if m != nil {
+		outstanding := m.outstanding()
+		o.cfg.Logf("orchestrator: event=worker_disconnect worker=%d name=%q measurement=%d targets_outstanding=%d",
+			idx, name, m.id, outstanding)
+		o.cfg.Obs.Event("worker_disconnect",
+			obs.L("worker", strconv.Itoa(idx)),
+			obs.L("name", name),
+			obs.L("measurement", strconv.FormatUint(uint64(m.id), 10)),
+			obs.L("targets_outstanding", strconv.FormatInt(outstanding, 10)))
 		select {
 		case m.gone <- idx:
 		default:
 		}
+		return
 	}
+	o.cfg.Logf("orchestrator: worker %d disconnected", idx)
 }
 
 // handleCLI serves one measurement request.
@@ -230,11 +317,13 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 		return errors.New("orchestrator: a measurement is already running")
 	}
 	m := &measurement{
+		id:       req.Def.ID,
 		results:  make(chan wire.Result, 4096),
 		done:     make(chan int, 64),
 		gone:     make(chan int, 64),
 		finished: make(chan struct{}),
 	}
+	m.total.Store(int64(len(req.Targets)))
 	o.active = m
 	participants := make([]*workerConn, 0, len(o.workers))
 	for _, wc := range o.workers {
@@ -294,6 +383,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 			o.cfg.Logf("orchestrator: governance withheld %d of %d targets", skipped, len(req.Targets))
 		}
 		req.Targets = kept
+		m.total.Store(int64(len(kept)))
 	}
 
 	// Stream targets to every worker at the CLI-defined rate. Workers
@@ -303,6 +393,11 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 	if err != nil {
 		return err
 	}
+	defer func() {
+		waits, total := limiter.WaitStats()
+		o.rateWaits.Add(waits)
+		o.rateWaitNanos.Add(total.Nanoseconds())
+	}()
 	go func() {
 		for base := 0; base < len(req.Targets); base += o.cfg.BatchSize {
 			end := base + o.cfg.BatchSize
@@ -320,6 +415,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 					o.dropWorker(idx)
 				}
 			}
+			m.streamed.Store(int64(end))
 		}
 		for idx, wc := range alive {
 			if err := wc.conn.Write(wire.MsgEndTargets, struct{}{}); err != nil {

@@ -51,8 +51,11 @@ func NumShards(n, workers int) int {
 }
 
 // Shard accumulates one shard's ordered output buffer and probe counter
-// during a Gather.
+// during a Gather. Index is the shard's position in shard order, set by
+// Gather before fn runs — callers use it to address per-shard telemetry
+// cells and label shard spans without threading an extra argument.
 type Shard[T any] struct {
+	Index int
 	Out   []T
 	Count int64
 }
@@ -66,6 +69,7 @@ type Shard[T any] struct {
 func Gather[T any](n, workers int, fn func(start, end int, sh *Shard[T])) ([]T, int64) {
 	shards := make([]Shard[T], NumShards(n, workers))
 	Do(n, workers, func(shard, start, end int) {
+		shards[shard].Index = shard
 		fn(start, end, &shards[shard])
 	})
 	var out []T

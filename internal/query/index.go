@@ -26,6 +26,7 @@ import (
 	"path/filepath"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"github.com/laces-project/laces/internal/archive"
 	"github.com/laces-project/laces/internal/core"
@@ -75,6 +76,24 @@ type Index struct {
 
 	mu    sync.Mutex
 	cache *archive.LRU[tlKey, *Timeline]
+
+	// Lookup telemetry, atomically updated per query and never consulted
+	// by query logic. decodeFallbacks counts FullEntries calls — the one
+	// path that abandons the index for document decoding. Read via Stats.
+	lookups         atomic.Int64
+	cacheHits       atomic.Int64
+	decodeFallbacks atomic.Int64
+}
+
+// Stats reports the index's lifetime query telemetry: Timeline lookups,
+// how many were served from the decoded-timeline LRU, and how many
+// FullEntries calls fell back to document decoding. Zero for a nil
+// index.
+func (ix *Index) Stats() (lookups, cacheHits, decodeFallbacks int64) {
+	if ix == nil {
+		return 0, 0, 0
+	}
+	return ix.lookups.Load(), ix.cacheHits.Load(), ix.decodeFallbacks.Load()
 }
 
 type tlKey struct {
@@ -327,9 +346,11 @@ func (ix *Index) Timeline(family, prefix string) (*Timeline, error) {
 		return nil, fmt.Errorf("query: %s (%s): %w", prefix, family, ErrUnknownPrefix)
 	}
 	key := tlKey{family, prefix}
+	ix.lookups.Add(1)
 	ix.mu.Lock()
 	if tl, ok := ix.cache.Get(key); ok {
 		ix.mu.Unlock()
+		ix.cacheHits.Add(1)
 		return tl, nil
 	}
 	ix.mu.Unlock()
@@ -416,6 +437,7 @@ func (ix *Index) FullEntries(family, prefix string, from, to int) ([]DayEntry, e
 	if _, err := ix.Timeline(family, prefix); err != nil {
 		return nil, err
 	}
+	ix.decodeFallbacks.Add(1)
 	var out []DayEntry
 	err := ix.arch.Range(family, from, to, func(day int, doc *core.Document) error {
 		for i := range doc.Entries {

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -59,9 +60,25 @@ type Limiter struct {
 	burst     float64
 	clock     Clock
 
+	// Pacer-wait telemetry: how often Wait had to sleep and for how
+	// long in total. Atomic so readers never contend with the bucket
+	// mutex; read via WaitStats.
+	waits     atomic.Int64
+	waitNanos atomic.Int64
+
 	mu     sync.Mutex
 	tokens float64
 	last   time.Time
+}
+
+// WaitStats returns the limiter's sleep telemetry: the number of times
+// Wait blocked and the total requested sleep time. Zero for a nil
+// limiter.
+func (l *Limiter) WaitStats() (waits int64, total time.Duration) {
+	if l == nil {
+		return 0, 0
+	}
+	return l.waits.Load(), time.Duration(l.waitNanos.Load())
 }
 
 // NewLimiter returns a token bucket producing perSecond tokens per second
@@ -128,6 +145,8 @@ func (l *Limiter) Wait(ctx context.Context) error {
 		need := 1 - l.tokens
 		wait := time.Duration(need / l.perSecond * float64(time.Second))
 		l.mu.Unlock()
+		l.waits.Add(1)
+		l.waitNanos.Add(int64(wait))
 		if err := l.clock.Sleep(ctx, wait); err != nil {
 			return fmt.Errorf("rate: waiting for token: %w", err)
 		}

@@ -18,6 +18,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 )
 
 // MsgType identifies a frame's payload.
@@ -136,13 +137,59 @@ type ErrorMsg struct {
 	Text string `json:"text"`
 }
 
+// Stats is shared frame/byte accounting for one side of the control
+// plane: every Conn carrying the same *Stats adds its traffic there.
+// Counters are atomic; a nil *Stats disables accounting at the cost of
+// one branch per frame.
+type Stats struct {
+	framesTx, framesRx atomic.Int64
+	bytesTx, bytesRx   atomic.Int64
+}
+
+// FramesTx returns the frames written across all attached conns.
+func (s *Stats) FramesTx() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.framesTx.Load()
+}
+
+// FramesRx returns the frames read across all attached conns.
+func (s *Stats) FramesRx() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.framesRx.Load()
+}
+
+// BytesTx returns the bytes written (headers included).
+func (s *Stats) BytesTx() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.bytesTx.Load()
+}
+
+// BytesRx returns the bytes read (headers included).
+func (s *Stats) BytesRx() int64 {
+	if s == nil {
+		return 0
+	}
+	return s.bytesRx.Load()
+}
+
 // Conn wraps a net.Conn with framed, concurrency-safe writes and buffered
 // reads.
 type Conn struct {
-	c  net.Conn
-	br *bufio.Reader
-	mu sync.Mutex // serialises writers
+	c     net.Conn
+	br    *bufio.Reader
+	mu    sync.Mutex // serialises writers
+	stats *Stats
 }
+
+// SetStats attaches shared traffic accounting (nil detaches). Attach
+// before the first frame moves: the counters are not retroactive.
+func (c *Conn) SetStats(s *Stats) { c.stats = s }
 
 // NewConn wraps a transport connection.
 func NewConn(c net.Conn) *Conn {
@@ -175,6 +222,10 @@ func (c *Conn) Write(t MsgType, v any) error {
 	if _, err := c.c.Write(payload); err != nil {
 		return fmt.Errorf("wire: writing %v payload: %w", t, err)
 	}
+	if s := c.stats; s != nil {
+		s.framesTx.Add(1)
+		s.bytesTx.Add(int64(len(hdr) + len(payload)))
+	}
 	return nil
 }
 
@@ -192,6 +243,10 @@ func (c *Conn) Read() (MsgType, json.RawMessage, error) {
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	if s := c.stats; s != nil {
+		s.framesRx.Add(1)
+		s.bytesRx.Add(int64(len(hdr)) + int64(n))
 	}
 	return MsgType(hdr[4]), payload, nil
 }

@@ -15,6 +15,7 @@ import (
 	"net/netip"
 	"time"
 
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/wire"
 )
 
@@ -58,11 +59,19 @@ type Config struct {
 	// failure awareness: the orchestrator must complete the measurement
 	// with the surviving workers while this one backs off and reconnects).
 	FailAfterTargets int64
+	// Obs receives the worker's telemetry: control-plane frame/byte
+	// counts and targets probed. Nil disables instrumentation.
+	Obs *obs.Registry
 }
 
 // Worker runs the worker loop.
 type Worker struct {
 	cfg Config
+	// stats is shared across reconnect sessions so the exposed frame and
+	// byte counters are cumulative for the worker's lifetime; probed
+	// counts targets this worker transmitted probes for.
+	stats  *wire.Stats
+	probed *obs.Counter
 }
 
 // New validates the configuration and returns a Worker.
@@ -88,7 +97,25 @@ func New(cfg Config) (*Worker, error) {
 			return d.DialContext(ctx, "tcp", addr)
 		}
 	}
-	return &Worker{cfg: cfg}, nil
+	w := &Worker{cfg: cfg, stats: &wire.Stats{}}
+	w.probed = cfg.Obs.Counter("laces_worker_targets_probed_total",
+		"Targets this worker transmitted probes for.")
+	if reg := cfg.Obs; reg != nil {
+		st := w.stats
+		reg.CounterFunc("laces_wire_frames_total",
+			"Control-plane frames moved, by direction.",
+			func() float64 { return float64(st.FramesTx()) }, obs.L("dir", "tx"))
+		reg.CounterFunc("laces_wire_frames_total",
+			"Control-plane frames moved, by direction.",
+			func() float64 { return float64(st.FramesRx()) }, obs.L("dir", "rx"))
+		reg.CounterFunc("laces_wire_bytes_total",
+			"Control-plane bytes moved (frame headers included), by direction.",
+			func() float64 { return float64(st.BytesTx()) }, obs.L("dir", "tx"))
+		reg.CounterFunc("laces_wire_bytes_total",
+			"Control-plane bytes moved (frame headers included), by direction.",
+			func() float64 { return float64(st.BytesRx()) }, obs.L("dir", "rx"))
+	}
+	return w, nil
 }
 
 // Run connects to the Orchestrator and serves measurements until ctx is
@@ -123,6 +150,7 @@ func (w *Worker) session(ctx context.Context) error {
 		return fmt.Errorf("worker: dialing: %w", err)
 	}
 	conn := wire.NewConn(nc)
+	conn.SetStats(w.stats)
 	defer conn.Close()
 
 	// Tear the connection down when ctx ends so blocking reads unblock.
@@ -185,6 +213,7 @@ func (w *Worker) session(ctx context.Context) error {
 					return fmt.Errorf("worker: probing %s: %w", addr, err)
 				}
 				sent++
+				w.probed.Inc()
 				if w.cfg.FailAfterTargets > 0 && sent >= w.cfg.FailAfterTargets {
 					return fmt.Errorf("worker: injected disconnect after %d targets", sent)
 				}

@@ -93,6 +93,7 @@ import (
 	"github.com/laces-project/laces/internal/igreedy"
 	"github.com/laces-project/laces/internal/longitudinal"
 	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/platform"
 	"github.com/laces-project/laces/internal/query"
@@ -446,3 +447,27 @@ func RenderDashboard(w io.Writer, docs []*CensusDocument) error {
 func ParseCensusDocument(r io.Reader) (*CensusDocument, error) {
 	return core.ParseDocument(r)
 }
+
+// Observability types (the internal/obs zero-alloc telemetry core).
+type (
+	// ObsRegistry is the telemetry root: counters, gauges, histograms,
+	// spans and census progress. A nil registry disables every
+	// instrument at one branch per call site, and census output is
+	// byte-identical with or without one — set it on
+	// PipelineConfig.Obs.
+	ObsRegistry = obs.Registry
+	// ObsSnapshot is the end-of-run telemetry dump: every series' final
+	// value plus the span tree and retained events (what `laces census
+	// -obs` writes and `laces metrics` renders).
+	ObsSnapshot = obs.Snapshot
+	// NetsimTelemetry counts probes, replies and routing-cache traffic
+	// inside the simulator; attach with World.SetTelemetry and expose
+	// with NetsimTelemetry.Register.
+	NetsimTelemetry = netsim.Telemetry
+)
+
+// NewObsRegistry returns an empty telemetry registry.
+func NewObsRegistry() *ObsRegistry { return obs.New() }
+
+// ReadObsSnapshot parses a snapshot written by ObsSnapshot.WriteJSON.
+func ReadObsSnapshot(r io.Reader) (*ObsSnapshot, error) { return obs.ReadSnapshot(r) }
