@@ -87,9 +87,13 @@ func main() {
 	}
 	sort.Strings(ingress)
 	fmt.Printf("ingress PoPs observed: %v\n", ingress)
+	var responders []string
 	for city := range fan.ServerCities {
-		fmt.Printf("final responder:       %s (one server for every vantage point)\n",
-			world.CityAt(city).Name)
+		responders = append(responders, world.CityAt(city).Name)
+	}
+	sort.Strings(responders)
+	for _, name := range responders {
+		fmt.Printf("final responder:       %s (one server for every vantage point)\n", name)
 	}
 
 	// Step 3: the latency view — GCD agrees the service is in one place.

@@ -9,6 +9,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 
 	laces "github.com/laces-project/laces"
 	"github.com/laces-project/laces/internal/bgpmon"
@@ -31,8 +32,16 @@ func main() {
 	}
 	fmt.Printf("ground truth: one-day anycast events on %d distinct days\n\n", len(eventDays))
 
-	suspected := 0
+	// Walk the event days in calendar order so the report reads
+	// chronologically and is identical run to run.
+	days := make([]int, 0, len(eventDays))
 	for day := range eventDays {
+		days = append(days, day)
+	}
+	sort.Ints(days)
+
+	suspected := 0
+	for _, day := range days {
 		feed := bgpmon.Feed(world, false, day)
 		vps, err := platform.Ark(world, day, false)
 		if err != nil {

@@ -92,7 +92,7 @@ type statusRecorder struct {
 
 func (sr *statusRecorder) WriteHeader(code int) {
 	sr.status = code
-	sr.ResponseWriter.WriteHeader(code)
+	sr.ResponseWriter.WriteHeader(code) //laces:allow httporder the status recorder forwards to the wrapped writer; that is its whole job
 }
 
 func (sr *statusRecorder) Flush() {
@@ -118,11 +118,11 @@ func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc
 	errs := reg.Counter("laces_http_errors_total",
 		"HTTP responses with status >= 400, by route.", obs.L("route", route))
 	return func(w http.ResponseWriter, r *http.Request) {
-		start := time.Now()
+		start := time.Now() //laces:allow detnow request latency histograms are wall-clock telemetry, not census content
 		sr := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		defer func() {
 			reqs.Inc()
-			lat.Observe(time.Since(start).Seconds())
+			lat.Observe(time.Since(start).Seconds()) //laces:allow detnow request latency histograms are wall-clock telemetry, not census content
 			if sr.status >= 400 {
 				errs.Inc()
 			}
@@ -135,7 +135,7 @@ func (s *Server) instrumented(route string, h http.HandlerFunc) http.HandlerFunc
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	w.Header().Set("X-Content-Type-Options", "nosniff")
-	w.WriteHeader(http.StatusOK)
+	w.WriteHeader(http.StatusOK) //laces:allow httporder the Prometheus exposition streams plain text; the JSON funnel does not apply
 	_ = s.Obs.WritePrometheus(w)
 }
 

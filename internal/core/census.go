@@ -604,11 +604,19 @@ func (p *Pipeline) screenGlobalBGP(census *DailyCensus, pool []netsim.VP, at tim
 		return nil
 	}
 	targets := p.World.Targets(census.V6)
-	var cands []*netsim.Target
+	// Candidates in ascending target-ID order, not map order: the
+	// traceroute stage consumes them sequentially, and a stable order
+	// keeps the probe ledger and any mid-stage cutoff reproducible.
+	var candIDs []int
 	for id, e := range census.Entries {
 		if e.InM() && e.MaxReceivers >= 2 && e.GCDMeasured {
-			cands = append(cands, &targets[id])
+			candIDs = append(candIDs, id)
 		}
+	}
+	sort.Ints(candIDs)
+	cands := make([]*netsim.Target, 0, len(candIDs))
+	for _, id := range candIDs {
+		cands = append(cands, &targets[id])
 	}
 	ids, probes, err := traceroute.ConfirmGlobalBGP(p.World, vps, cands, at)
 	if err != nil {

@@ -129,7 +129,7 @@ func (e *Env) Fig6() (*Fig6Result, error) {
 				continue
 			}
 			n := o.Result.NumSites()
-			counts = append(counts, n)
+			counts = append(counts, n) //laces:allow maporder stats.NewCDF sorts a copy of the values, so accumulation order never reaches the output
 			if platformIdx == 0 {
 				tg := &e.World.TargetsV4[id]
 				if tg.Operator >= 0 {
@@ -425,6 +425,9 @@ func (e *Env) Fig12() (*Fig12Result, error) {
 			dnsIDs = append(dnsIDs, id)
 		}
 	}
+	// Probe in ascending ID order, not map order, so the campaign is
+	// byte-reproducible run to run.
+	sort.Ints(dnsIDs)
 	rep := gcdmeas.Run(e.World, dnsIDs, false, gcdmeas.Campaign{VPs: vps, Proto: packet.ICMP, At: at})
 
 	type acc struct {

@@ -1,0 +1,81 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// Detnow enforces the census determinism contract: the same seed must
+// produce byte-identical documents, so census-producing code (the
+// module's internal tree and root package) must not read ambient
+// nondeterminism — the wall clock, the global math/rand generators, or
+// the process environment. Simulated time flows through rate.Clock and
+// explicit day/At parameters; randomness through seeded rand.New
+// sources and the world's own mixers. The few legitimate wall-clock
+// users (telemetry timestamps, the real clock implementation itself,
+// worker runtime paths) carry //laces:allow detnow annotations, making
+// the permitted wall-time surface greppable.
+type Detnow struct{}
+
+// Name implements Analyzer.
+func (Detnow) Name() string { return "detnow" }
+
+// Doc implements Analyzer.
+func (Detnow) Doc() string {
+	return "no time.Now/global math/rand/os.Getenv in census-producing packages (inject rate.Clock / seeded sources instead)"
+}
+
+// detnowBanned maps package path → banned function predicate and the
+// advice attached to the finding.
+func detnowBanned(pkgPath, fn string) (string, bool) {
+	switch pkgPath {
+	case "time":
+		switch fn {
+		case "Now", "Since", "Until":
+			return "breaks seed→byte-identical census output; inject a rate.Clock or take the timestamp as a parameter", true
+		}
+	case "math/rand", "math/rand/v2":
+		// Seeded, locally-owned generators (rand.New(rand.NewSource(seed)))
+		// are the deterministic idiom; only the package-level global
+		// generator and unseeded constructors are banned.
+		if !strings.HasPrefix(fn, "New") {
+			return "uses the globally seeded generator; build a seeded *rand.Rand with rand.New(rand.NewSource(seed))", true
+		}
+	case "os":
+		switch fn {
+		case "Getenv", "LookupEnv", "Environ":
+			return "makes census output depend on the process environment; thread configuration through Config instead", true
+		}
+	}
+	return "", false
+}
+
+// Run implements Analyzer.
+func (d Detnow) Run(p *Package) []Diagnostic {
+	if !p.InternalTo() {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn, ok := pkgFunc(p.Info, call)
+			if !ok {
+				return true
+			}
+			if advice, banned := detnowBanned(pkgPath, fn); banned {
+				diags = append(diags, Diagnostic{
+					Analyzer: d.Name(),
+					Pos:      p.position(call),
+					Message:  fmt.Sprintf("call to %s.%s %s", pkgPath, fn, advice),
+				})
+			}
+			return true
+		})
+	}
+	return diags
+}

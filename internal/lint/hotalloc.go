@@ -1,0 +1,284 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Hotalloc is the static complement to the repo's AllocsPerRun guards:
+// functions annotated //laces:hotpath (the netsim probe path, the
+// packet codecs, the striped-counter adds) must stay allocation-free,
+// so inside them the analyzer bans
+//
+//   - any fmt call (Sprintf and friends allocate on every invocation),
+//   - string concatenation inside a loop,
+//   - implicit interface boxing of a concrete argument or conversion,
+//   - append to a slice the function declared without preallocated
+//     capacity.
+//
+// The runtime guards catch a regression only on the benchmarked
+// configuration; this catches it on every path at compile time.
+type Hotalloc struct{}
+
+// Name implements Analyzer.
+func (Hotalloc) Name() string { return "hotalloc" }
+
+// Doc implements Analyzer.
+func (Hotalloc) Doc() string {
+	return "//laces:hotpath functions must not call fmt, concatenate strings in loops, box into interfaces, or append to non-preallocated slices"
+}
+
+// Run implements Analyzer.
+func (a Hotalloc) Run(p *Package) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			diags = append(diags, a.checkHot(p, fd)...)
+		}
+	}
+	return diags
+}
+
+// checkHot walks one hot function's body.
+func (a Hotalloc) checkHot(p *Package, fd *ast.FuncDecl) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(),
+			Pos:      p.position(n),
+			Message:  fmt.Sprintf(format, args...) + fmt.Sprintf(" in //laces:hotpath function %s", fd.Name.Name),
+		})
+	}
+	prealloc := preallocated(p.Info, fd)
+	var walk func(n ast.Node, inLoop bool)
+	walk = func(n ast.Node, inLoop bool) {
+		ast.Inspect(n, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ForStmt:
+				if n.Init != nil {
+					walk(n.Init, inLoop)
+				}
+				if n.Cond != nil {
+					walk(n.Cond, inLoop)
+				}
+				if n.Post != nil {
+					walk(n.Post, inLoop)
+				}
+				walk(n.Body, true)
+				return false
+			case *ast.RangeStmt:
+				walk(n.X, inLoop)
+				walk(n.Body, true)
+				return false
+			case *ast.BinaryExpr:
+				if n.Op == token.ADD && inLoop && isStringType(p.Info, n) {
+					report(n, "string concatenation inside a loop allocates per iteration")
+				}
+			case *ast.AssignStmt:
+				if n.Tok == token.ADD_ASSIGN && inLoop && len(n.Lhs) == 1 && isStringType(p.Info, n.Lhs[0]) {
+					report(n, "string concatenation inside a loop allocates per iteration")
+				}
+			case *ast.CallExpr:
+				diags = append(diags, a.checkCall(p, fd, n, prealloc)...)
+			}
+			return true
+		})
+	}
+	walk(fd.Body, false)
+	return diags
+}
+
+// checkCall inspects one call inside a hot function.
+func (a Hotalloc) checkCall(p *Package, fd *ast.FuncDecl, call *ast.CallExpr, prealloc map[types.Object]bool) []Diagnostic {
+	var diags []Diagnostic
+	report := func(n ast.Node, format string, args ...any) {
+		diags = append(diags, Diagnostic{
+			Analyzer: a.Name(),
+			Pos:      p.position(n),
+			Message:  fmt.Sprintf(format, args...) + fmt.Sprintf(" in //laces:hotpath function %s", fd.Name.Name),
+		})
+	}
+
+	// fmt anywhere on a hot path allocates (formatting state, boxing).
+	if pkgPath, fn, ok := pkgFunc(p.Info, call); ok && pkgPath == "fmt" {
+		report(call, "call to fmt.%s allocates", fn)
+		return diags
+	}
+
+	// append to a slice this function declared without capacity.
+	if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "append" && len(call.Args) > 0 {
+		if b, bok := p.Info.Uses[id].(*types.Builtin); bok && b.Name() == "append" {
+			if tid, tok := call.Args[0].(*ast.Ident); tok {
+				if obj := p.Info.ObjectOf(tid); obj != nil {
+					if grew, known := prealloc[obj]; known && !grew {
+						report(call, "append to %q, declared in this function without preallocated capacity, reallocates as it grows", tid.Name)
+					}
+				}
+			}
+			return diags
+		}
+	}
+
+	// Interface boxing: a concrete argument passed to an interface
+	// parameter, or an explicit conversion to an interface type.
+	if tv, ok := p.Info.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 && !isInterfaceExpr(p.Info, call.Args[0]) && !isNilExpr(call.Args[0]) {
+			report(call, "conversion of a concrete value to interface %s allocates", tv.Type.String())
+		}
+		return diags
+	}
+	sig := callSignature(p.Info, call)
+	if sig == nil {
+		return diags
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // forwarding a slice, no per-element boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if types.IsInterface(pt) && !isInterfaceExpr(p.Info, arg) && !isNilExpr(arg) {
+			report(arg, "argument boxes a concrete value into interface parameter %s", pt.String())
+		}
+	}
+	return diags
+}
+
+// callSignature resolves the static signature of a call, or nil for
+// builtins and type conversions.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return nil
+	}
+	return sig
+}
+
+// isStringType reports whether the expression's static type is a
+// string.
+func isStringType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsString != 0
+}
+
+// isInterfaceExpr reports whether the expression is already
+// interface-typed (no boxing happens passing it on).
+func isInterfaceExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Type != nil && types.IsInterface(tv.Type)
+}
+
+// isNilExpr matches the untyped nil literal.
+func isNilExpr(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// preallocated maps every slice-typed object DECLARED in fd to whether
+// its declaration carries capacity: `make([]T, n)` / `make([]T, n, c)`
+// / a non-empty literal count as preallocated; `var s []T`, `[]T{}` and
+// `make([]T, 0)` do not. Objects not in the map (parameters, fields,
+// package vars) are out of the analyzer's sight and never reported.
+func preallocated(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	record := func(id *ast.Ident, rhs ast.Expr) {
+		obj := info.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, isSlice := obj.Type().Underlying().(*types.Slice); !isSlice {
+			return
+		}
+		out[obj] = rhsPreallocates(info, rhs)
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				}
+				record(id, rhs)
+			}
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, id := range vs.Names {
+					var rhs ast.Expr
+					if i < len(vs.Values) {
+						rhs = vs.Values[i]
+					}
+					record(id, rhs)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// rhsPreallocates reports whether a slice initializer reserves
+// capacity.
+func rhsPreallocates(info *types.Info, rhs ast.Expr) bool {
+	switch rhs := rhs.(type) {
+	case nil:
+		return false // var s []T
+	case *ast.CallExpr:
+		id, ok := rhs.Fun.(*ast.Ident)
+		if ok && id.Name == "make" {
+			if b, bok := info.Uses[id].(*types.Builtin); bok && b.Name() == "make" {
+				if len(rhs.Args) >= 3 {
+					return true // make([]T, n, c)
+				}
+				if len(rhs.Args) == 2 {
+					// make([]T, n): preallocated unless n is literally 0.
+					lit, isLit := rhs.Args[1].(*ast.BasicLit)
+					return !(isLit && lit.Value == "0")
+				}
+				return false
+			}
+		}
+		return true // some producer call — its allocation is not ours to judge
+	case *ast.CompositeLit:
+		return len(rhs.Elts) > 0
+	default:
+		return true // copies of existing slices etc.
+	}
+}

@@ -1,0 +1,446 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// Httporder enforces the internal/api response discipline: headers are
+// set, then exactly one WriteHeader, then the body — the contract the
+// writeJSON funnel centralizes. Two kinds of findings:
+//
+//   - Funnel: any direct WriteHeader call on an http.ResponseWriter is
+//     reported; writeJSON itself and the streaming/metrics routes that
+//     legitimately bypass it carry //laces:allow httporder annotations,
+//     keeping the set of raw status writers enumerable.
+//
+//   - Order: within any function taking an http.ResponseWriter, a
+//     path-sensitive walk flags a direct body Write before WriteHeader
+//     (implicitly committing status 200), header mutation after the
+//     header is committed (silently dropped by net/http), and duplicate
+//     WriteHeader calls ("superfluous response.WriteHeader" at runtime,
+//     but only on the path a test happens to exercise).
+//
+// Passing the writer to another function (writeErr, an encoder, a
+// middleware wrapper) conservatively marks the header as committed on
+// that path — the callee may have responded — but is never itself a
+// finding.
+type Httporder struct{}
+
+// Name implements Analyzer.
+func (Httporder) Name() string { return "httporder" }
+
+// Doc implements Analyzer.
+func (Httporder) Doc() string {
+	return "internal/api: headers, then one WriteHeader, then body; direct WriteHeader calls outside the writeJSON funnel need //laces:allow"
+}
+
+// Run implements Analyzer.
+func (a Httporder) Run(p *Package) []Diagnostic {
+	if !p.PathEndsWith("internal/api") {
+		return nil
+	}
+	var diags []Diagnostic
+
+	// Funnel rule: every direct WriteHeader on a ResponseWriter-typed
+	// value, anywhere in the package.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "WriteHeader" || !isResponseWriter(p.Info, sel.X) {
+				return true
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      p.position(call),
+				Message:  "direct WriteHeader bypasses the writeJSON funnel; respond through writeJSON/writeErr or annotate the streaming route",
+			})
+			return true
+		})
+	}
+
+	// Order rule: walk every function that receives a ResponseWriter.
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var ft *ast.FuncType
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				ft, body = fn.Type, fn.Body
+			case *ast.FuncLit:
+				ft, body = fn.Type, fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			for _, w := range writerParams(p.Info, ft) {
+				walk := &orderWalk{a: a, p: p, writer: w}
+				walk.block(body.List, &wState{})
+				diags = append(diags, walk.diags...)
+			}
+			return true
+		})
+	}
+	return diags
+}
+
+// isResponseWriter reports whether the expression's static type is the
+// net/http.ResponseWriter interface itself.
+func isResponseWriter(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	return isResponseWriterType(tv.Type)
+}
+
+// isResponseWriterType matches the named interface net/http.ResponseWriter.
+func isResponseWriterType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}
+
+// writerParams collects the objects of named http.ResponseWriter
+// parameters of a function type.
+func writerParams(info *types.Info, ft *ast.FuncType) []types.Object {
+	var out []types.Object
+	if ft.Params == nil {
+		return nil
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			obj := info.Defs[name]
+			if obj != nil && isResponseWriterType(obj.Type()) {
+				out = append(out, obj)
+			}
+		}
+	}
+	return out
+}
+
+// wState is the per-path response state for one writer.
+type wState struct {
+	headerWritten bool
+}
+
+func (s *wState) clone() *wState { c := *s; return &c }
+
+// orderWalk is a path-sensitive statement walker for one writer object.
+type orderWalk struct {
+	a      Httporder
+	p      *Package
+	writer types.Object
+	diags  []Diagnostic
+}
+
+func (o *orderWalk) report(n ast.Node, format string, args ...any) {
+	o.diags = append(o.diags, Diagnostic{
+		Analyzer: o.a.Name(),
+		Pos:      o.p.position(n),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// block walks a statement list, mutating st along the way; reports
+// whether every path through it terminates (return/panic).
+func (o *orderWalk) block(stmts []ast.Stmt, st *wState) bool {
+	for _, s := range stmts {
+		if o.stmt(s, st) {
+			return true
+		}
+	}
+	return false
+}
+
+// stmt handles one statement; true means control does not continue past
+// it on any path.
+func (o *orderWalk) stmt(s ast.Stmt, st *wState) bool {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			o.scan(r, st)
+		}
+		return true
+	case *ast.BlockStmt:
+		return o.block(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			o.stmt(s.Init, st)
+		}
+		o.scan(s.Cond, st)
+		thenSt := st.clone()
+		thenTerm := o.block(s.Body.List, thenSt)
+		var elseTerm bool
+		elseSt := st.clone()
+		if s.Else != nil {
+			elseTerm = o.stmt(s.Else, elseSt)
+		}
+		// Merge the states of paths that fall through. With no else the
+		// skipped-branch path keeps st as-is.
+		if !thenTerm {
+			st.headerWritten = st.headerWritten || thenSt.headerWritten
+		}
+		if s.Else != nil && !elseTerm {
+			st.headerWritten = st.headerWritten || elseSt.headerWritten
+		}
+		return thenTerm && s.Else != nil && elseTerm
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return o.branches(s, st)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			o.stmt(s.Init, st)
+		}
+		if s.Cond != nil {
+			o.scan(s.Cond, st)
+		}
+		loopSt := st.clone()
+		o.block(s.Body.List, loopSt)
+		if s.Post != nil {
+			o.stmt(s.Post, loopSt)
+		}
+		st.headerWritten = st.headerWritten || loopSt.headerWritten
+		return false
+	case *ast.RangeStmt:
+		o.scan(s.X, st)
+		loopSt := st.clone()
+		o.block(s.Body.List, loopSt)
+		st.headerWritten = st.headerWritten || loopSt.headerWritten
+		return false
+	case *ast.ExprStmt:
+		o.scan(s.X, st)
+		return isPanicCall(s.X)
+	case *ast.AssignStmt:
+		for _, r := range s.Rhs {
+			o.scan(r, st)
+		}
+		for _, l := range s.Lhs {
+			o.scan(l, st)
+		}
+		return false
+	case *ast.DeferStmt:
+		o.scan(s.Call, st)
+		return false
+	case *ast.GoStmt:
+		o.scan(s.Call, st)
+		return false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.LabeledStmt:
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				o.scan(e, st)
+				return false
+			}
+			return true
+		})
+		return false
+	default:
+		return false
+	}
+}
+
+// branches walks switch/type-switch/select bodies: each clause runs on
+// its own clone; non-terminated clauses merge back. Without a default
+// clause the no-match path keeps the incoming state, so the statement
+// never terminates.
+func (o *orderWalk) branches(s ast.Stmt, st *wState) bool {
+	var body *ast.BlockStmt
+	hasDefault := false
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			o.stmt(s.Init, st)
+		}
+		if s.Tag != nil {
+			o.scan(s.Tag, st)
+		}
+		body = s.Body
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			o.stmt(s.Init, st)
+		}
+		o.stmt(s.Assign, st)
+		body = s.Body
+	case *ast.SelectStmt:
+		body = s.Body
+	}
+	allTerm := true
+	merged := false
+	for _, c := range body.List {
+		var caseStmts []ast.Stmt
+		switch c := c.(type) {
+		case *ast.CaseClause:
+			for _, e := range c.List {
+				o.scan(e, st)
+			}
+			if c.List == nil {
+				hasDefault = true
+			}
+			caseStmts = c.Body
+		case *ast.CommClause:
+			if c.Comm != nil {
+				o.stmt(c.Comm, st)
+			} else {
+				hasDefault = true
+			}
+			caseStmts = c.Body
+		}
+		cs := st.clone()
+		if !o.block(caseStmts, cs) {
+			allTerm = false
+			merged = merged || cs.headerWritten
+		}
+	}
+	st.headerWritten = st.headerWritten || merged
+	return allTerm && hasDefault
+}
+
+// scan visits an expression for writer events, in evaluation-ish
+// (pre-order) order.
+func (o *orderWalk) scan(e ast.Expr, st *wState) {
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			// The literal's body is analyzed on its own by Run if it has
+			// writer params of its own; a closure over OUR writer runs at
+			// an unknown time — treat it as an escape.
+			if o.mentionsWriter(n.Body) {
+				st.headerWritten = true
+			}
+			return false
+		case *ast.CallExpr:
+			o.call(n, st)
+			return false // o.call recurses itself
+		case *ast.Ident:
+			// Bare use of the writer outside a call (composite literal
+			// field, assignment source): it escaped; assume responded.
+			if o.p.Info.Uses[n] == o.writer {
+				st.headerWritten = true
+			}
+		}
+		return true
+	})
+}
+
+// call classifies one call with respect to the tracked writer.
+func (o *orderWalk) call(call *ast.CallExpr, st *wState) {
+	// Arguments evaluate first.
+	escaped := false
+	for _, arg := range call.Args {
+		if o.isWriter(arg) {
+			escaped = true
+			continue // direct pass — handled below, not a bare escape
+		}
+		o.scan(arg, st)
+	}
+
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch {
+		case o.isWriter(sel.X) && sel.Sel.Name == "WriteHeader":
+			if st.headerWritten {
+				o.report(call, "duplicate WriteHeader on this path — the response status is already committed")
+			}
+			st.headerWritten = true
+			return
+		case o.isWriter(sel.X) && sel.Sel.Name == "Write":
+			if !st.headerWritten {
+				o.report(call, "body Write before WriteHeader implicitly commits status 200; set the status first")
+			}
+			st.headerWritten = true
+			return
+		case isHeaderMutation(sel) && o.headerOf(sel.X):
+			if st.headerWritten {
+				o.report(call, "Header().%s after WriteHeader has no effect — net/http drops mutations once the header is committed", sel.Sel.Name)
+			}
+			return
+		case o.isWriter(sel.X):
+			// Some other method on the writer (Flush via assertion is the
+			// common one elsewhere): no ordering significance.
+			return
+		default:
+			o.scan(sel.X, st)
+		}
+	} else if call.Fun != nil {
+		o.scan(call.Fun, st)
+	}
+
+	if escaped {
+		// The writer was handed to another function (writeErr, an
+		// encoder constructor, a wrapper): assume it responded.
+		st.headerWritten = true
+	}
+}
+
+// isWriter reports whether the expression is a direct use of the
+// tracked writer object (through parens).
+func (o *orderWalk) isWriter(e ast.Expr) bool {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			break
+		}
+		e = p.X
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && o.p.Info.Uses[id] == o.writer
+}
+
+// headerOf reports whether the expression is `w.Header()` on the
+// tracked writer.
+func (o *orderWalk) headerOf(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	return ok && sel.Sel.Name == "Header" && o.isWriter(sel.X)
+}
+
+// isHeaderMutation matches the http.Header mutators.
+func isHeaderMutation(sel *ast.SelectorExpr) bool {
+	switch sel.Sel.Name {
+	case "Set", "Add", "Del":
+		return true
+	}
+	return false
+}
+
+// mentionsWriter reports whether the node references the tracked writer
+// anywhere.
+func (o *orderWalk) mentionsWriter(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && o.p.Info.Uses[id] == o.writer {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isPanicCall matches a direct call to the panic builtin.
+func isPanicCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	return ok && id.Name == "panic"
+}

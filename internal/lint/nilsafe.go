@@ -1,0 +1,187 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Nilsafe pins the internal/obs contract from the telemetry PR: every
+// instrument handed out by a disabled (nil) registry is nil, and
+// calling any exported method on it must cost exactly one branch — so
+// every exported pointer-receiver method on an exported obs type must
+// begin with a nil-receiver guard. Accepted shapes:
+//
+//	func (c *T) M() { if c == nil { return ... }; ... }   // early return
+//	func (c *T) M() { if c != nil { ... } }               // guarded body
+//	func (c *T) M() { c.Other(...) }                      // delegate to a guarded method
+//
+// A method that dereferences an unguarded receiver turns the "disabled
+// telemetry costs one branch" promise into a panic.
+type Nilsafe struct{}
+
+// Name implements Analyzer.
+func (Nilsafe) Name() string { return "nilsafe" }
+
+// Doc implements Analyzer.
+func (Nilsafe) Doc() string {
+	return "exported pointer-receiver methods on internal/obs types must begin with a nil-receiver guard"
+}
+
+// Run implements Analyzer.
+func (a Nilsafe) Run(p *Package) []Diagnostic {
+	if !p.PathEndsWith("internal/obs") {
+		return nil
+	}
+	var diags []Diagnostic
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || !fd.Name.IsExported() {
+				continue
+			}
+			recvName, typeName, ok := pointerRecv(fd)
+			if !ok || !token.IsExported(typeName) {
+				continue
+			}
+			if nilGuarded(p.Info, fd.Body, recvName) {
+				continue
+			}
+			diags = append(diags, Diagnostic{
+				Analyzer: a.Name(),
+				Pos:      p.position(fd.Name),
+				Message: fmt.Sprintf("exported method (*%s).%s must begin with a nil-receiver guard — instruments from a disabled registry are nil and promise one-branch no-ops",
+					typeName, fd.Name.Name),
+			})
+		}
+	}
+	return diags
+}
+
+// pointerRecv extracts the receiver name and pointed-to type name of a
+// pointer-receiver method. Unnamed receivers cannot be dereferenced and
+// are trivially nil-safe.
+func pointerRecv(fd *ast.FuncDecl) (recvName, typeName string, ok bool) {
+	if len(fd.Recv.List) != 1 {
+		return "", "", false
+	}
+	field := fd.Recv.List[0]
+	star, isPtr := field.Type.(*ast.StarExpr)
+	if !isPtr {
+		return "", "", false
+	}
+	base := star.X
+	if idx, isIdx := base.(*ast.IndexExpr); isIdx { // generic receiver
+		base = idx.X
+	}
+	id, isID := base.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	if len(field.Names) == 0 || field.Names[0].Name == "_" {
+		return "", "", false
+	}
+	return field.Names[0].Name, id.Name, true
+}
+
+// nilGuarded reports whether the body starts with an accepted
+// nil-receiver guard shape.
+func nilGuarded(info *types.Info, body *ast.BlockStmt, recv string) bool {
+	if len(body.List) == 0 {
+		return true // empty method dereferences nothing
+	}
+	switch first := body.List[0].(type) {
+	case *ast.IfStmt:
+		if first.Init == nil && condHasNilCheck(first.Cond, recv, token.EQL) && endsInReturn(first.Body) {
+			return true
+		}
+		// Whole-body guard: the if wraps everything the method does.
+		if len(body.List) == 1 && first.Init == nil && first.Else == nil &&
+			condHasNilCheck(first.Cond, recv, token.NEQ) {
+			return true
+		}
+	case *ast.ExprStmt:
+		if len(body.List) == 1 && delegatesTo(first.X, recv) {
+			return true
+		}
+	case *ast.ReturnStmt:
+		if len(body.List) == 1 && len(first.Results) == 1 && delegatesTo(first.Results[0], recv) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsInReturn reports whether a guard body unconditionally leaves the
+// method: its last statement is a return or a panic.
+func endsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	switch last := b.List[len(b.List)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	default:
+		return false
+	}
+}
+
+// condHasNilCheck reports whether cond contains `recv <op> nil` in a
+// position that guards the whole condition: the comparison itself, the
+// left arm of || (for == guards) or && (for != guards), possibly
+// nested.
+func condHasNilCheck(cond ast.Expr, recv string, op token.Token) bool {
+	if paren, ok := cond.(*ast.ParenExpr); ok {
+		return condHasNilCheck(paren.X, recv, op)
+	}
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	if be.Op == op && isRecvNilComparison(be, recv) {
+		return true
+	}
+	// `recv == nil || more` still returns early on nil; `recv != nil &&
+	// more` still short-circuits every dereference behind the guard.
+	if (op == token.EQL && be.Op == token.LOR) || (op == token.NEQ && be.Op == token.LAND) {
+		return condHasNilCheck(be.X, recv, op)
+	}
+	return false
+}
+
+// isRecvNilComparison matches `recv <op> nil` / `nil <op> recv`.
+func isRecvNilComparison(be *ast.BinaryExpr, recv string) bool {
+	isRecv := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == recv
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := e.(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	return (isRecv(be.X) && isNil(be.Y)) || (isNil(be.X) && isRecv(be.Y))
+}
+
+// delegatesTo reports whether the expression is a single call on the
+// receiver itself (`c.Add(1)`) — nil-safety is the callee's job, which
+// this analyzer checks too.
+func delegatesTo(e ast.Expr, recv string) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == recv
+}

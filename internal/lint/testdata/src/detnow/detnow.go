@@ -1,0 +1,41 @@
+// Package detnow is the golden corpus for the detnow analyzer: every
+// line below marked `// want` must produce exactly the matching
+// diagnostics, and no others.
+package detnow
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Day is a stand-in census timestamp parameter.
+type Day struct{ At time.Time }
+
+func bannedCalls() {
+	_ = time.Now()              // want `call to time\.Now`
+	_ = time.Since(time.Time{}) // want `call to time\.Since`
+	_ = time.Until(time.Time{}) // want `call to time\.Until`
+	_ = rand.Intn(5)            // want `call to math/rand\.Intn`
+	_ = rand.Float64()          // want `call to math/rand\.Float64`
+	_, _ = os.LookupEnv("HOME") // want `call to os\.LookupEnv`
+	_ = os.Getenv("HOME")       // want `call to os\.Getenv`
+}
+
+func seededIsFine() int {
+	r := rand.New(rand.NewSource(42))
+	return r.Intn(5) // method on a locally seeded generator: not the global
+}
+
+func parameterTimeIsFine(d Day) int64 {
+	return d.At.Unix()
+}
+
+func allowedWithReason() time.Time {
+	return time.Now() //laces:allow detnow corpus exercises trailing-comment suppression
+}
+
+func allowedStandalone() time.Time {
+	//laces:allow detnow corpus exercises standalone suppression of the next code line
+	return time.Now()
+}

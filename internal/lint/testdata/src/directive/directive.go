@@ -1,0 +1,29 @@
+// Package directive is the corpus for //laces: directive parsing: every
+// malformed directive below must surface as a finding of the
+// "directive" pseudo-analyzer, and the one well-formed allow must
+// suppress its target. The test harness asserts on messages rather than
+// `// want` comments because a directive and a want marker cannot share
+// a line (a line comment swallows the rest of the line).
+package directive
+
+import "time"
+
+//laces:frobnicate this verb does not exist
+func unknownVerb() {}
+
+//laces:allow
+func allowWithNothing() {}
+
+//laces:allow gremlins the analyzer name is not real
+func allowUnknownAnalyzer() {}
+
+//laces:allow detnow
+func allowWithoutReason() {}
+
+func unsuppressed() time.Time {
+	return time.Now()
+}
+
+func suppressed() time.Time {
+	return time.Now() //laces:allow detnow well-formed: analyzer plus reason
+}

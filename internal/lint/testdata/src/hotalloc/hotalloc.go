@@ -1,0 +1,73 @@
+// Package hotalloc is the golden corpus for the hotalloc analyzer.
+package hotalloc
+
+import "fmt"
+
+type sink func(any)
+
+//laces:hotpath corpus hot function
+func fmtOnHotPath(n int) {
+	_ = fmt.Sprintf("%d", n) // want `call to fmt\.Sprintf allocates`
+}
+
+//laces:hotpath corpus hot function
+func concatInLoop(parts []string) string {
+	out := ""
+	for _, p := range parts {
+		out += p // want `string concatenation inside a loop`
+	}
+	return out
+}
+
+//laces:hotpath corpus hot function
+func concatOutsideLoopIsFine(a, b string) string {
+	return a + b
+}
+
+//laces:hotpath corpus hot function
+func boxingArg(s sink, n int) {
+	s(n) // want `boxes a concrete value into interface parameter`
+}
+
+//laces:hotpath corpus hot function
+func boxingConversion(n int) any {
+	return any(n) // want `conversion of a concrete value to interface`
+}
+
+//laces:hotpath corpus hot function
+func passingInterfaceIsFine(s sink, v any) {
+	s(v)
+}
+
+//laces:hotpath corpus hot function
+func growingAppend(vs []int) []int {
+	var out []int
+	for _, v := range vs {
+		if v > 0 {
+			out = append(out, v) // want `without preallocated capacity`
+		}
+	}
+	return out
+}
+
+//laces:hotpath corpus hot function
+func preallocatedAppend(vs []int) []int {
+	out := make([]int, 0, len(vs))
+	for _, v := range vs {
+		if v > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+//laces:hotpath corpus hot function
+func appendToParamIsFine(dst []byte, b byte) []byte {
+	return append(dst, b)
+}
+
+// coldTwin has the same body as fmtOnHotPath but no annotation, so the
+// analyzer must stay silent.
+func coldTwin(n int) {
+	_ = fmt.Sprintf("%d", n)
+}

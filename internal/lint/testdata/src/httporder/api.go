@@ -1,0 +1,60 @@
+// Package api is the golden corpus for the httporder analyzer; the
+// harness loads it under a synthetic import path ending in internal/api
+// so the package-scoped analyzer fires.
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code) //laces:allow httporder corpus funnel: the one sanctioned WriteHeader
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func headerAfterWriteHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)                 // want `direct WriteHeader bypasses the writeJSON funnel`
+	w.Header().Set("Content-Type", "text/plain") // want `after WriteHeader has no effect`
+}
+
+func bodyBeforeHeader(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("hello")) // want `body Write before WriteHeader`
+}
+
+func duplicateWriteHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)     // want `direct WriteHeader bypasses the writeJSON funnel`
+	w.WriteHeader(http.StatusTeapot) // want `direct WriteHeader bypasses the writeJSON funnel` `duplicate WriteHeader on this path`
+}
+
+func headerAfterFunnel(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, "ok")
+	w.Header().Set("X-Too-Late", "1") // want `after WriteHeader has no effect`
+}
+
+func terminatedErrorPathIsFine(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("q") == "" {
+		writeJSON(w, http.StatusBadRequest, errors.New("missing q"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	writeJSON(w, http.StatusOK, "ok")
+}
+
+func orderedStreamingIsFine(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK) //laces:allow httporder corpus streaming route commits status before the body
+	_, _ = w.Write([]byte("{}\n"))
+}
+
+func switchBothBranchesRespond(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, "get")
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, "no")
+	}
+	w.Header().Set("X-Too-Late", "1") // want `after WriteHeader has no effect`
+}

@@ -1,0 +1,83 @@
+// Package maporder is the golden corpus for the maporder analyzer.
+package maporder
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+func unsortedAccumulation(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" inside iteration over a map`
+	}
+	return keys
+}
+
+func sortedAccumulation(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortSliceAlsoCounts(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func helperSortCounts(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return sortedKeys(keys)
+}
+
+func sortedKeys(keys []string) []string {
+	sort.Strings(keys)
+	return keys
+}
+
+func directPrint(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside iteration over a map`
+	}
+}
+
+func builderWrite(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside iteration over a map`
+	}
+	return b.String()
+}
+
+func loopLocalIsFine(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		total += len(evens)
+	}
+	return total
+}
+
+func sizeOnlyIsFine(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,68 @@
+// Package obs is the golden corpus for the nilsafe analyzer; the
+// harness loads it under a synthetic import path ending in
+// internal/obs so the package-scoped analyzer fires.
+package obs
+
+import "sync/atomic"
+
+// Counter mirrors the real instrument shape: a nil *Counter must be a
+// one-branch no-op on every exported method.
+type Counter struct{ v atomic.Int64 }
+
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+func (c *Counter) Inc() { c.Add(1) }
+
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+func (c *Counter) Unguarded() int64 { // want `must begin with a nil-receiver guard`
+	return c.v.Load()
+}
+
+// WholeBody uses the guarded-body shape.
+func (c *Counter) WholeBody(n int64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// CompoundGuard guards with a disjunction whose left arm is the nil check.
+func (c *Counter) CompoundGuard(n int64) {
+	if c == nil || n == 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// GuardTooLate dereferences before the guard.
+func (c *Counter) GuardTooLate() int64 { // want `must begin with a nil-receiver guard`
+	v := c.v.Load()
+	if c == nil {
+		return 0
+	}
+	return v
+}
+
+// reset is unexported: callers inside the package own the nil check.
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Stateless has a value receiver and cannot be dereferenced through nil.
+type Stateless struct{}
+
+func (Stateless) Touch() {}
+
+// hidden is an unexported type; its methods are not part of the
+// instrument surface.
+type hidden struct{ n int }
+
+func (h *hidden) Bump() { h.n++ }

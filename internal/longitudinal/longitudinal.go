@@ -400,7 +400,7 @@ func (h *History) SeriesGCD(v6 bool, p packet.Protocol) (days, counts []int) {
 func (h *History) PersistenceCDF(v6 bool) *stats.CDF {
 	var vals []int
 	for _, n := range h.daysAnycast[famIdx(v6)] {
-		vals = append(vals, n)
+		vals = append(vals, n) //laces:allow maporder stats.NewCDF sorts a copy of the values, so accumulation order never reaches the output
 	}
 	return stats.NewCDF(vals)
 }

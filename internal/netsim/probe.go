@@ -25,6 +25,8 @@ const kmPerMs = 200.0
 // stretch floor guarantees GCD discs always contain the true responder, so
 // the simulator can never manufacture an impossible speed-of-light
 // violation.
+//
+//laces:hotpath called once per simulated probe
 func (w *World) rttOverDistance(distKm float64, key uint64, proto packet.Protocol, seq uint64) time.Duration {
 	stretch := 1.15 + 0.45*unitFloat(mix(w.seed, key, 0x4717))
 	ms := 2 * distKm * stretch / kmPerMs
@@ -58,6 +60,8 @@ func (w *World) ProbeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx
 }
 
 // probeAnycast is ProbeAnycast without the accounting wrapper.
+//
+//laces:hotpath called once per anycast-stage probe
 func (w *World) probeAnycast(d *Deployment, worker int, tg *Target, ctx ProbeCtx) (Delivery, bool) {
 	proto := ctx.Flow.Proto
 	if !tg.Responsive[proto] {
@@ -134,6 +138,8 @@ func (w *World) ProbeUnicast(vp VP, tg *Target, proto packet.Protocol, at time.T
 }
 
 // probeUnicastFull is ProbeUnicast without the accounting wrapper.
+//
+//laces:hotpath called once per GCD-stage probe
 func (w *World) probeUnicastFull(vp VP, tg *Target, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
 	if !tg.Responsive[proto] {
 		return 0, -1, false
@@ -151,6 +157,8 @@ func (w *World) probeUnicastFull(vp VP, tg *Target, proto packet.Protocol, at ti
 
 // impairUnicast consults the fault-injection hook for one unicast probe.
 // With no impairer installed it is a single nil check.
+//
+//laces:hotpath called once per GCD-stage probe
 func (w *World) impairUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time) (time.Time, time.Duration, bool) {
 	if w.imp == nil {
 		return at, 0, false
@@ -166,6 +174,8 @@ func (w *World) impairUnicast(vp VP, tg *Target, proto packet.Protocol, at time.
 }
 
 // probeUnicast is ProbeUnicast after responsiveness and impairment checks.
+//
+//laces:hotpath called once per GCD-stage probe
 func (w *World) probeUnicast(vp VP, tg *Target, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
 	day := DayOf(at)
 	// Transient per-(VP, target, day) measurement failure: the path from
@@ -214,6 +224,8 @@ func (w *World) ProbeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.P
 }
 
 // probeUnicastAddr is ProbeUnicastAddr without the accounting wrapper.
+//
+//laces:hotpath called once per address in the /24 sweep
 func (w *World) probeUnicastAddr(vp VP, tg *Target, offset uint8, proto packet.Protocol, at time.Time, seq uint64) (time.Duration, int, bool) {
 	if tg.Kind == PartialAnycast {
 		for _, a := range tg.PartialAddrs {

@@ -42,6 +42,8 @@ type Telemetry struct {
 
 // countProbe records one probe (and its reply, when delivered) with a
 // single striped add.
+//
+//laces:hotpath one atomic add per probe
 func countProbe(s *obs.Striped, key uint64, ok bool) {
 	n := int64(1)
 	if ok {
@@ -52,6 +54,8 @@ func countProbe(s *obs.Striped, key uint64, ok bool) {
 
 // countLookup records one cache lookup (and whether it missed) with a
 // single striped add.
+//
+//laces:hotpath one atomic add per cache lookup
 func countLookup(s *obs.Striped, key uint64, hit bool) {
 	n := int64(1)
 	if !hit {

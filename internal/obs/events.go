@@ -46,7 +46,7 @@ func (r *Registry) Event(kind string, fields ...Label) {
 	if r == nil {
 		return
 	}
-	ev := Event{At: time.Now(), Kind: kind, Fields: fields}
+	ev := Event{At: time.Now(), Kind: kind, Fields: fields} //laces:allow detnow telemetry event timestamps are operator-facing wall clock; census bytes never include them
 	l := &r.events
 	l.mu.Lock()
 	if len(l.ring) < maxEvents {

@@ -45,6 +45,8 @@ func newHistogram(bounds []float64) *Histogram {
 }
 
 // Observe records one observation.
+//
+//laces:hotpath linear bucket scan plus three atomic adds per observation
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return

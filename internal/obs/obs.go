@@ -25,6 +25,8 @@ import (
 type Counter struct{ v atomic.Int64 }
 
 // Add increments the counter by n.
+//
+//laces:hotpath one branch plus one atomic add per event
 func (c *Counter) Add(n int64) {
 	if c != nil {
 		c.v.Add(n)
@@ -32,6 +34,8 @@ func (c *Counter) Add(n int64) {
 }
 
 // Inc increments the counter by one.
+//
+//laces:hotpath one branch plus one atomic add per event
 func (c *Counter) Inc() { c.Add(1) }
 
 // Value returns the current count (0 for a nil counter).
@@ -54,6 +58,8 @@ func (c *Counter) reset() {
 type Gauge struct{ v atomic.Int64 }
 
 // Set stores n.
+//
+//laces:hotpath one branch plus one atomic store per event
 func (g *Gauge) Set(n int64) {
 	if g != nil {
 		g.v.Store(n)
@@ -61,6 +67,8 @@ func (g *Gauge) Set(n int64) {
 }
 
 // Add adjusts the gauge by n (negative to decrement).
+//
+//laces:hotpath one branch plus one atomic add per event
 func (g *Gauge) Add(n int64) {
 	if g != nil {
 		g.v.Add(n)
@@ -121,6 +129,8 @@ type stripe struct {
 type Striped struct{ cells [numStripes]stripe }
 
 // Add increments the stripe selected by key.
+//
+//laces:hotpath one atomic add per probe, striped to dodge cache-line contention
 func (s *Striped) Add(key uint64, n int64) {
 	if s != nil {
 		s.cells[key&(numStripes-1)].v.Add(n)

@@ -29,7 +29,7 @@ func (r *Registry) BeginStage(stage string, total int64) {
 	p.mu.Lock()
 	p.stage = stage
 	p.total = total
-	p.stageStart = time.Now()
+	p.stageStart = time.Now() //laces:allow detnow live-progress rate/ETA is wall-clock telemetry, not census content
 	p.mu.Unlock()
 	p.done.reset()
 }
@@ -80,7 +80,7 @@ func (r *Registry) Progress() Progress {
 		BudgetRemaining: -1,
 	}
 	if !p.stageStart.IsZero() {
-		out.Elapsed = time.Since(p.stageStart)
+		out.Elapsed = time.Since(p.stageStart) //laces:allow detnow live-progress rate/ETA is wall-clock telemetry, not census content
 	}
 	fn := p.budgetFn
 	p.mu.Unlock()
@@ -125,7 +125,7 @@ func (r *Registry) StartProgress(w io.Writer, interval time.Duration) *ProgressS
 
 // Stop halts the stream, printing a final sample and a newline.
 func (ps *ProgressStream) Stop() {
-	if ps.stop == nil {
+	if ps == nil || ps.stop == nil {
 		return
 	}
 	close(ps.stop)
@@ -137,12 +137,12 @@ func (ps *ProgressStream) run() {
 	t := time.NewTicker(ps.interval)
 	defer t.Stop()
 	var lastDone int64
-	lastAt := time.Now()
+	lastAt := time.Now() //laces:allow detnow live-progress rate/ETA is wall-clock telemetry, not census content
 	var width int
 	for {
 		select {
 		case <-t.C:
-			now := time.Now()
+			now := time.Now() //laces:allow detnow live-progress rate/ETA is wall-clock telemetry, not census content
 			p := ps.r.Progress()
 			rate := float64(p.Done-lastDone) / now.Sub(lastAt).Seconds()
 			lastDone, lastAt = p.Done, now

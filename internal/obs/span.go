@@ -41,7 +41,7 @@ func (r *Registry) StartSpan(path string) *Span {
 	if r == nil {
 		return nil
 	}
-	return &Span{r: r, path: path, start: time.Now()}
+	return &Span{r: r, path: path, start: time.Now()} //laces:allow detnow span durations are wall-clock telemetry, not census content
 }
 
 // Child opens a sub-span: its path is the parent's path plus "/name".
@@ -49,7 +49,7 @@ func (s *Span) Child(name string) *Span {
 	if s == nil {
 		return nil
 	}
-	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()}
+	return &Span{r: s.r, path: s.path + "/" + name, start: time.Now()} //laces:allow detnow span durations are wall-clock telemetry, not census content
 }
 
 // End closes the span, recording its duration, and returns it.
@@ -57,7 +57,7 @@ func (s *Span) End() time.Duration {
 	if s == nil {
 		return 0
 	}
-	d := time.Since(s.start)
+	d := time.Since(s.start) //laces:allow detnow span durations are wall-clock telemetry, not census content
 	l := &s.r.spans
 	l.mu.Lock()
 	if len(l.records) < maxSpans {

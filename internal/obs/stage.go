@@ -41,6 +41,9 @@ type StageInstruments struct {
 // metric handles, opens its pipeline span and resets the live-progress
 // state. Close the run with End.
 func (r *Registry) Stage(stage string, total int) StageInstruments {
+	if r == nil {
+		return StageInstruments{} // all-nil instruments: every method is a one-branch no-op
+	}
 	si := StageInstruments{
 		Probes: r.Counter("laces_stage_probes_total",
 			"Probes transmitted per census stage.", L("stage", stage)),

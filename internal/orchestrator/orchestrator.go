@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -329,6 +330,9 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 	for _, wc := range o.workers {
 		participants = append(participants, wc)
 	}
+	// Stable fan-out order (registration index, not map order) so slot
+	// assignment and batch delivery are reproducible across runs.
+	sort.Slice(participants, func(i, j int) bool { return participants[i].idx < participants[j].idx })
 	o.mu.Unlock()
 	defer func() {
 		close(m.finished)
@@ -411,6 +415,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 			}
 			batch := wire.Targets{Base: base, Addrs: req.Targets[base:end]}
 			for idx, wc := range alive {
+				//laces:allow maporder each iteration writes to a different worker's connection; there is no shared byte stream to reorder
 				if err := wc.conn.Write(wire.MsgTargets, batch); err != nil {
 					o.dropWorker(idx)
 				}
@@ -418,6 +423,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 			m.streamed.Store(int64(end))
 		}
 		for idx, wc := range alive {
+			//laces:allow maporder each iteration writes to a different worker's connection; there is no shared byte stream to reorder
 			if err := wc.conn.Write(wire.MsgEndTargets, struct{}{}); err != nil {
 				o.dropWorker(idx)
 			}

@@ -35,6 +35,8 @@ func (m *ICMPEcho) IsReply() bool {
 }
 
 // AppendTo appends the encoded ICMPv4 message with correct checksum.
+//
+//laces:hotpath encodes every outgoing ICMPv4 probe; appends into the caller's buffer
 func (m *ICMPEcho) AppendTo(dst []byte) []byte {
 	off := len(dst)
 	dst = append(dst, m.Type, m.Code, 0, 0)
@@ -71,12 +73,14 @@ func (m *ICMPEcho) AppendToV6(dst []byte, src, dstAddr netip.Addr) ([]byte, erro
 
 // DecodeFrom parses an ICMPv4 message, verifying the checksum. The Payload
 // slice aliases b.
+//
+//laces:hotpath decodes every incoming ICMPv4 reply; the happy path is allocation-free
 func (m *ICMPEcho) DecodeFrom(b []byte) error {
 	if len(b) < 8 {
-		return fmt.Errorf("icmp: %w", ErrTruncated)
+		return fmt.Errorf("icmp: %w", ErrTruncated) //laces:allow hotalloc error path, not the per-packet happy path
 	}
 	if Checksum(b, 0) != 0 {
-		return fmt.Errorf("icmp: %w", ErrBadChecksum)
+		return fmt.Errorf("icmp: %w", ErrBadChecksum) //laces:allow hotalloc error path, not the per-packet happy path
 	}
 	m.decodeFields(b)
 	return nil
@@ -98,6 +102,7 @@ func (m *ICMPEcho) DecodeFromV6(b []byte, src, dst netip.Addr) error {
 	return nil
 }
 
+//laces:hotpath shared by the v4 and v6 decoders; aliases the input, never copies
 func (m *ICMPEcho) decodeFields(b []byte) {
 	m.Type = b[0]
 	m.Code = b[1]

@@ -35,6 +35,8 @@ const ICMPPayloadLen = 16
 
 // AppendICMPPayload appends the 16-byte identity payload:
 // magic(4) | measurement(2) | worker(1) | version(1) | txUnixNanos(8).
+//
+//laces:hotpath encodes every outgoing probe; appends into the caller's buffer
 func (id Identity) AppendICMPPayload(dst []byte) []byte {
 	var b [ICMPPayloadLen]byte
 	copy(b[0:4], icmpMagic[:])

@@ -33,7 +33,7 @@ type Clock interface {
 
 type realClock struct{}
 
-func (realClock) Now() time.Time { return time.Now() }
+func (realClock) Now() time.Time { return time.Now() } //laces:allow detnow realClock is the one place wall time enters; everything else injects Clock
 
 func (realClock) Sleep(ctx context.Context, d time.Duration) error {
 	if d <= 0 {

@@ -208,6 +208,7 @@ func (w *Worker) session(ctx context.Context) error {
 				if err != nil {
 					continue // skip malformed targets, keep probing
 				}
+				//laces:allow detnow the live worker stamps probes with real send time; deterministic runs use the simulated prober path
 				replies, err := prober.ProbeTarget(def, addr, time.Now())
 				if err != nil {
 					return fmt.Errorf("worker: probing %s: %w", addr, err)
