@@ -1290,12 +1290,25 @@ func runTrace(args []string) error {
 
 // findTarget resolves a prefix or address string to a hitlist target.
 func findTarget(w *laces.World, s string, v6 bool) (*netsim.Target, error) {
-	targets := w.Targets(v6)
-	if pfx, err := netip.ParsePrefix(s); err == nil {
-		for i := range targets {
-			if targets[i].Prefix == pfx {
-				return &targets[i], nil
+	// Streamed search: works on lazy worlds without materializing the
+	// universe; the batch buffer is reused, so matches are copied out.
+	find := func(match func(*netsim.Target) bool) *netsim.Target {
+		var found *netsim.Target
+		w.IterTargets(v6, 0, func(batch []netsim.Target) bool {
+			for i := range batch {
+				if match(&batch[i]) {
+					tg := batch[i]
+					found = &tg
+					return false
+				}
 			}
+			return true
+		})
+		return found
+	}
+	if pfx, err := netip.ParsePrefix(s); err == nil {
+		if tg := find(func(t *netsim.Target) bool { return t.Prefix == pfx }); tg != nil {
+			return tg, nil
 		}
 		return nil, fmt.Errorf("prefix %s not on the hitlist", pfx)
 	}
@@ -1303,10 +1316,8 @@ func findTarget(w *laces.World, s string, v6 bool) (*netsim.Target, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%q is neither a prefix nor an address", s)
 	}
-	for i := range targets {
-		if targets[i].Prefix.Contains(addr) {
-			return &targets[i], nil
-		}
+	if tg := find(func(t *netsim.Target) bool { return t.Prefix.Contains(addr) }); tg != nil {
+		return tg, nil
 	}
 	return nil, fmt.Errorf("address %s not covered by any hitlist prefix", addr)
 }

@@ -626,15 +626,19 @@ func (s *Server) handleMeasure(w http.ResponseWriter, r *http.Request) {
 	day := s.Clock()
 	started := time.Now() //laces:allow detnow measurement_ms is a diagnostic latency field in the response, not census content
 
-	// Locate the target.
+	// Locate the target: stream the universe and stop at the first match
+	// (works on lazy worlds too, without materializing the hitlist).
 	var target *netsim.Target
-	targets := s.World.Targets(v6)
-	for i := range targets {
-		if targets[i].Prefix == prefix {
-			target = &targets[i]
-			break
+	s.World.IterTargets(v6, 0, func(batch []netsim.Target) bool {
+		for i := range batch {
+			if batch[i].Prefix == prefix {
+				tg := batch[i] // copy out: the batch buffer is reused
+				target = &tg
+				return false
+			}
 		}
-	}
+		return true
+	})
 	resp := measureResponse{Prefix: prefix.String(), Day: day}
 	if target == nil {
 		writeJSON(w, http.StatusOK, resp) // unknown prefix: unresponsive

@@ -66,23 +66,25 @@ type Event struct {
 // order — the simulated equivalent of a RouteViews/RIS update stream.
 func Feed(w *netsim.World, v6 bool, day int) []Event {
 	var out []Event
-	targets := w.Targets(v6)
-	for i := range targets {
-		tg := &targets[i]
-		was := tg.IsAnycastAt(day - 1)
-		now := tg.IsAnycastAt(day)
-		if was == now {
-			continue
+	w.IterTargets(v6, 0, func(batch []netsim.Target) bool {
+		for i := range batch {
+			tg := &batch[i]
+			was := tg.IsAnycastAt(day - 1)
+			now := tg.IsAnycastAt(day)
+			if was == now {
+				continue
+			}
+			kind := AnycastTurnUp
+			if was {
+				kind = AnycastTurnDown
+			}
+			out = append(out, Event{
+				Day: day, Kind: kind,
+				TargetID: tg.ID, Prefix: tg.Prefix, Origin: tg.Origin,
+			})
 		}
-		kind := AnycastTurnUp
-		if was {
-			kind = AnycastTurnDown
-		}
-		out = append(out, Event{
-			Day: day, Kind: kind,
-			TargetID: tg.ID, Prefix: tg.Prefix, Origin: tg.Origin,
-		})
-	}
+		return true
+	})
 	sort.Slice(out, func(a, b int) bool { return out[a].TargetID < out[b].TargetID })
 	return out
 }

@@ -53,12 +53,11 @@ func (o Observation) MultiRecord() bool { return len(o.Records) > 1 }
 // receives the stage's telemetry (never feeding back into the result).
 func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.Time, gate *budget.Gate, parallelism int, reg *obs.Registry) (map[int]Observation, budget.Usage) {
 	entries := hl.FilterProtocol(packet.DNS)
-	targets := w.Targets(hl.V6)
 	var usage budget.Usage
 	if gate != nil {
 		perEntry := int64(d.NumSites())
 		entries = budget.Filter(gate, entries, &usage, func(e hitlist.Entry) (*netsim.Target, int64) {
-			return &targets[e.TargetID], perEntry
+			return w.TargetAt(hl.V6, e.TargetID), perEntry
 		})
 	}
 	si := reg.Stage(Stage, len(entries))
@@ -67,7 +66,7 @@ func Census(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, at time.
 		cell := &cells[sh.Index]
 		ssp := si.Span.Child("shard" + strconv.Itoa(sh.Index))
 		for _, e := range entries[start:end] {
-			tg := &targets[e.TargetID]
+			tg := w.TargetAt(hl.V6, e.TargetID)
 			ob := Observation{TargetID: e.TargetID, Records: make(map[string]bool)}
 			for wk := 0; wk < d.NumSites(); wk++ {
 				ctx := netsim.ProbeCtx{

@@ -442,7 +442,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		return nil, fmt.Errorf("core: anycast-based stage: %w", err)
 	}
 	var anycastUsage, gcdUsage budget.Usage
-	targets := w.Targets(v6)
+	numTargets := w.NumTargets(v6)
 	for proto, res := range results {
 		census.ProbesAnycastStage += res.ProbesSent
 		anycastUsage.Add(res.Usage)
@@ -451,7 +451,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 			if !ob.IsCandidate() {
 				continue
 			}
-			e := census.entry(&targets[ob.TargetID])
+			e := census.entry(w.TargetAt(v6, ob.TargetID))
 			e.ACProtocols[proto] = true
 			if n := ob.NumReceivers(); n > e.MaxReceivers {
 				e.MaxReceivers = n
@@ -461,10 +461,10 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 
 	// Stage 2: feedback loop — cover anycast-based FNs (§4.3).
 	for id := range p.feedback[famIdx(v6)] {
-		if id < 0 || id >= len(targets) {
+		if id < 0 || id >= numTargets {
 			continue
 		}
-		tg := &targets[id]
+		tg := w.TargetAt(v6, id)
 		if tg.HitlistFromDay > hitlist.QuarterOf(day) {
 			continue
 		}
@@ -482,7 +482,7 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 	}
 	var icmpIDs, tcpIDs []int
 	for id := range census.Entries {
-		tg := &targets[id]
+		tg := w.TargetAt(v6, id)
 		switch {
 		case tg.Responsive[packet.ICMP]:
 			icmpIDs = append(icmpIDs, id)
@@ -603,7 +603,6 @@ func (p *Pipeline) screenGlobalBGP(census *DailyCensus, pool []netsim.VP, at tim
 	if len(vps) == 0 {
 		return nil
 	}
-	targets := p.World.Targets(census.V6)
 	// Candidates in ascending target-ID order, not map order: the
 	// traceroute stage consumes them sequentially, and a stable order
 	// keeps the probe ledger and any mid-stage cutoff reproducible.
@@ -616,7 +615,7 @@ func (p *Pipeline) screenGlobalBGP(census *DailyCensus, pool []netsim.VP, at tim
 	sort.Ints(candIDs)
 	cands := make([]*netsim.Target, 0, len(candIDs))
 	for _, id := range candIDs {
-		cands = append(cands, &targets[id])
+		cands = append(cands, p.World.TargetAt(census.V6, id))
 	}
 	ids, probes, err := traceroute.ConfirmGlobalBGP(p.World, vps, cands, at)
 	if err != nil {
@@ -712,14 +711,13 @@ func (c *DailyCensus) entry(tg *netsim.Target) *Entry {
 // ApplySweep marks partial-anycast prefixes found by a GCD_IPv4 address
 // sweep (§5.7) on the census.
 func (c *DailyCensus) ApplySweep(outcomes []gcdmeas.AddrSweepOutcome, w *netsim.World) {
-	targets := w.Targets(c.V6)
 	for _, o := range outcomes {
 		if !o.Partial() {
 			continue
 		}
 		e, ok := c.Entries[o.TargetID]
 		if !ok {
-			e = c.entry(&targets[o.TargetID])
+			e = c.entry(w.TargetAt(c.V6, o.TargetID))
 		}
 		e.PartialAnycast = true
 	}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"github.com/laces-project/laces/internal/chaos"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/platform"
+)
+
+// TestCensusLazyEagerEquivalence pins the tentpole end-to-end contract:
+// the published census document is byte-identical between eager and lazy
+// worlds — across seeds, with and without chaos impairments, sequential
+// and sharded. The lazy streaming generator must be invisible to every
+// stage of the pipeline.
+func TestCensusLazyEagerEquivalence(t *testing.T) {
+	lossy, ok := chaos.Lookup(chaos.ScenarioLossyTransit)
+	if !ok {
+		t.Fatal("lossy-transit scenario missing")
+	}
+	seeds := []uint64{0x1ace5, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		cfg := netsim.TestConfig()
+		cfg.Seed = seed
+		eager, err := netsim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.LazyTargets = true
+		lazy, err := netsim.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, sc := range []struct {
+			name     string
+			scenario *chaos.Scenario
+		}{
+			{"clean", nil},
+			{chaos.ScenarioLossyTransit, &lossy},
+		} {
+			var ref []byte
+			var refFrom string
+			for _, mode := range []struct {
+				name string
+				w    *netsim.World
+			}{{"eager", eager}, {"lazy", lazy}} {
+				for _, parallelism := range []int{1, 4} {
+					label := fmt.Sprintf("seed=%#x chaos=%s world=%s par=%d", seed, sc.name, mode.name, parallelism)
+					d, err := platform.Tangled(mode.w, netsim.PolicyUnmodified)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p, err := NewPipeline(mode.w, Config{
+						Deployment:  d,
+						Parallelism: parallelism,
+						GCDVPs: func(day int, v6 bool) ([]netsim.VP, error) {
+							return platform.Ark(mode.w, day, v6)
+						},
+					})
+					if err != nil {
+						t.Fatal(err)
+					}
+					c, err := p.RunDaily(100, false, DayOptions{Chaos: sc.scenario})
+					if err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					var buf bytes.Buffer
+					if err := c.WriteJSON(&buf); err != nil {
+						t.Fatalf("%s: %v", label, err)
+					}
+					if ref == nil {
+						ref, refFrom = buf.Bytes(), label
+						continue
+					}
+					if !bytes.Equal(ref, buf.Bytes()) {
+						t.Errorf("census documents differ: %s vs %s", refFrom, label)
+					}
+				}
+			}
+		}
+	}
+}

@@ -82,10 +82,9 @@ func (e *Env) chaosCensus(day int, v6 bool, sc chaos.Scenario) (*core.DailyCensu
 // not recall failures of the pipeline.
 func (e *Env) responsiveTruth(day int, v6 bool) map[int]bool {
 	truth := e.World.GroundTruthAnycast(v6, day)
-	targets := e.World.Targets(v6)
 	out := make(map[int]bool, len(truth))
 	for id := range truth {
-		tg := &targets[id]
+		tg := e.World.TargetAt(v6, id)
 		if tg.Responsive[packet.ICMP] || tg.Responsive[packet.TCP] || tg.Responsive[packet.DNS] {
 			out[id] = true
 		}

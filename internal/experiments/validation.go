@@ -4,6 +4,7 @@ import (
 	"io"
 	"sort"
 
+	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/packet"
 	"github.com/laces-project/laces/internal/stats"
 )
@@ -42,33 +43,35 @@ func (e *Env) GroundTruth(v6 bool) ([]ValidationRow, error) {
 	truth := e.gTruth(dayGroundTruth, v6)
 
 	rows := make(map[int]*ValidationRow)
-	targets := e.World.Targets(v6)
-	for i := range targets {
-		tg := &targets[i]
-		if tg.Operator < 0 {
-			continue
-		}
-		row, ok := rows[tg.Operator]
-		if !ok {
-			row = &ValidationRow{Operator: e.World.Operators[tg.Operator].Name}
-			rows[tg.Operator] = row
-		}
-		anycastToday := truth[tg.ID]
-		if anycastToday && (tg.Responsive[packet.ICMP] || tg.Responsive[packet.TCP]) {
-			row.Prefixes++
-			switch {
-			case inG[tg.ID]:
-				row.InG++
-			case inM[tg.ID]:
-				row.InM++
-			default:
-				row.Missed++
+	e.World.IterTargets(v6, 0, func(batch []netsim.Target) bool {
+		for i := range batch {
+			tg := &batch[i]
+			if tg.Operator < 0 {
+				continue
+			}
+			row, ok := rows[tg.Operator]
+			if !ok {
+				row = &ValidationRow{Operator: e.World.Operators[tg.Operator].Name}
+				rows[tg.Operator] = row
+			}
+			anycastToday := truth[tg.ID]
+			if anycastToday && (tg.Responsive[packet.ICMP] || tg.Responsive[packet.TCP]) {
+				row.Prefixes++
+				switch {
+				case inG[tg.ID]:
+					row.InG++
+				case inM[tg.ID]:
+					row.InM++
+				default:
+					row.Missed++
+				}
+			}
+			if !anycastToday && inG[tg.ID] {
+				row.FPs++
 			}
 		}
-		if !anycastToday && inG[tg.ID] {
-			row.FPs++
-		}
-	}
+		return true
+	})
 	out := make([]ValidationRow, 0, len(rows))
 	for _, r := range rows {
 		if r.Prefixes > 0 || r.FPs > 0 {

@@ -59,9 +59,8 @@ func RunBGPTools(w *netsim.World, v6 bool, day int) (*BGPToolsCensus, error) {
 		Prefixes:  make(map[int]bool),
 		ACTargets: res.CandidateSet(),
 	}
-	targets := w.Targets(v6)
 	for id := range c.ACTargets {
-		c.Prefixes[targets[id].BGPPrefix] = true
+		c.Prefixes[w.TargetAt(v6, id).BGPPrefix] = true
 	}
 	return c, nil
 }
@@ -86,7 +85,7 @@ func (c *BGPToolsCensus) SizeTable(w *netsim.World, v6 bool, gcdConfirmed map[in
 	}
 	byBits := make(map[int]*SizeRow)
 	for bi := range c.Prefixes {
-		bp := w.BGPPrefixes(v6)[bi]
+		bp := w.BGPPrefixAt(v6, bi)
 		row, ok := byBits[bp.Prefix.Bits()]
 		if !ok {
 			row = &SizeRow{Bits: bp.Prefix.Bits()}
@@ -154,10 +153,9 @@ func RunIPInfo(w *netsim.World, vps []netsim.VP, v6 bool, day, weeks int) *IPInf
 		}
 		hl := hitlist.ForDay(w, v6, snapDay)
 		at := netsim.DayTime(snapDay)
-		targets := w.Targets(v6)
 		samples := make([]igreedy.Sample, 0, len(vps))
 		for _, e := range hl.FilterProtocol(packet.ICMP) {
-			tg := &targets[e.TargetID]
+			tg := w.TargetAt(v6, e.TargetID)
 			samples = samples[:0]
 			for _, vp := range vps {
 				rtt, _, ok := w.ProbeUnicast(vp, tg, packet.ICMP, at, uint64(wk))

@@ -93,7 +93,7 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 		attempts = 1
 	}
 	rep := &Report{Outcomes: make(map[int]TargetOutcome, len(targetIDs))}
-	targets := w.Targets(v6)
+	numTargets := w.NumTargets(v6)
 
 	// Governance pre-pass: sequential admission in list order keeps the
 	// admitted set independent of Parallelism. Out-of-range IDs are not
@@ -101,10 +101,10 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 	if c.Gate != nil {
 		perTarget := int64(len(c.VPs)) * int64(attempts)
 		targetIDs = budget.Filter(c.Gate, targetIDs, &rep.Usage, func(id int) (*netsim.Target, int64) {
-			if id < 0 || id >= len(targets) {
+			if id < 0 || id >= numTargets {
 				return nil, 0 // out of scope: the probing loop skips it too
 			}
-			return &targets[id], perTarget
+			return w.TargetAt(v6, id), perTarget
 		})
 	}
 
@@ -126,10 +126,10 @@ func Run(w *netsim.World, targetIDs []int, v6 bool, c Campaign) *Report {
 		ssp := si.Span.Child("shard" + strconv.Itoa(sh.Index))
 		samples := make([]igreedy.Sample, 0, len(c.VPs))
 		for _, id := range targetIDs[start:end] {
-			if id < 0 || id >= len(targets) {
+			if id < 0 || id >= numTargets {
 				continue
 			}
-			tg := &targets[id]
+			tg := w.TargetAt(v6, id)
 			samples = samples[:0]
 			for _, vp := range c.VPs {
 				bestSet := false
@@ -202,7 +202,6 @@ func (o AddrSweepOutcome) Partial() bool {
 // sharded sweep (each demands distinct-offsets × VPs budget units) and
 // the returned Usage accounts every skipped target.
 func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Campaign) ([]AddrSweepOutcome, int64, budget.Usage) {
-	targets := w.Targets(v6)
 	var usage budget.Usage
 	if c.Gate != nil {
 		// Distinct configured offsets, mirroring dedupeOffsets: a target
@@ -217,7 +216,7 @@ func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Ca
 			}
 		}
 		targetIDs = budget.Filter(c.Gate, targetIDs, &usage, func(id int) (*netsim.Target, int64) {
-			tg := &targets[id]
+			tg := w.TargetAt(v6, id)
 			repOff := tg.Addr.AsSlice()
 			addrs := distinct
 			if !seen[repOff[len(repOff)-1]] {
@@ -234,7 +233,7 @@ func SweepAddrs(w *netsim.World, targetIDs []int, v6 bool, offsets []uint8, c Ca
 		samples := make([]igreedy.Sample, 0, len(c.VPs))
 		offs := make([]uint8, 0, len(offsets)+1)
 		for _, id := range targetIDs[start:end] {
-			tg := &targets[id]
+			tg := w.TargetAt(v6, id)
 			o := AddrSweepOutcome{TargetID: id}
 			repOff := tg.Addr.AsSlice()
 			rep := repOff[len(repOff)-1]

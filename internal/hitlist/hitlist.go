@@ -93,20 +93,23 @@ func Scan(w *netsim.World, src Source, v6 bool, day int) *Hitlist {
 	snap := QuarterOf(day)
 	proto := src.protocol()
 	h := &Hitlist{V6: v6, Day: snap}
-	for i := range w.Targets(v6) {
-		tg := &w.Targets(v6)[i]
-		if tg.HitlistFromDay > snap || !tg.Responsive[proto] {
-			continue
+	w.IterTargets(v6, 0, func(batch []netsim.Target) bool {
+		for i := range batch {
+			tg := &batch[i]
+			if tg.HitlistFromDay > snap || !tg.Responsive[proto] {
+				continue
+			}
+			var ps [3]bool
+			ps[proto] = true
+			h.Entries = append(h.Entries, Entry{
+				TargetID:  tg.ID,
+				Prefix:    tg.Prefix,
+				Addr:      tg.Addr,
+				Protocols: ps,
+			})
 		}
-		var ps [3]bool
-		ps[proto] = true
-		h.Entries = append(h.Entries, Entry{
-			TargetID:  tg.ID,
-			Prefix:    tg.Prefix,
-			Addr:      tg.Addr,
-			Protocols: ps,
-		})
-	}
+		return true
+	})
 	return h
 }
 

@@ -170,7 +170,6 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 		Workers:    CountParticipants(d.NumSites(), opts.MissingWorkers),
 	}
 	entries := hl.FilterProtocol(opts.Protocol)
-	targets := w.Targets(hl.V6)
 
 	// Governance pre-pass: admission is decided sequentially in hitlist
 	// order — the same total order the sequential probing loop uses — so
@@ -180,7 +179,7 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 	if opts.Gate != nil {
 		perEntry := int64(res.Workers)
 		entries = budget.Filter(opts.Gate, entries, &res.Usage, func(e hitlist.Entry) (*netsim.Target, int64) {
-			return &targets[e.TargetID], perEntry
+			return w.TargetAt(hl.V6, e.TargetID), perEntry
 		})
 	}
 
@@ -200,7 +199,7 @@ func Run(w *netsim.World, d *netsim.Deployment, hl *hitlist.Hitlist, opts Option
 		ssp := si.Span.Child("shard" + strconv.Itoa(sh.Index))
 		for i := start; i < end; i++ {
 			e := entries[i]
-			tg := &targets[e.TargetID]
+			tg := w.TargetAt(hl.V6, e.TargetID)
 			var mask uint64
 			for wk := 0; wk < d.NumSites(); wk++ {
 				if opts.MissingWorkers[wk] {

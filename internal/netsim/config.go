@@ -137,7 +137,31 @@ type Config struct {
 	RateLimitFrac  float64
 	RateLimitGapMS int
 
+	// LazyTargets switches world generation from eager materialization to
+	// seed-derived streaming: New builds only the generation layout
+	// (memory proportional to ASes and operators, not targets) and
+	// targets are derived on demand from (seed, ID) through a bounded
+	// arena. Census results are byte-identical to an eager world with the
+	// same configuration; the materialized Targets/BGPPrefixes slices are
+	// unavailable (their accessors panic) — consumers use the streaming
+	// API in stream.go, which works in both modes.
+	LazyTargets bool
+
+	// TargetArenaSlots bounds the per-family cache of materialized
+	// targets on a lazy world, rounded up to a power of two; 0 means
+	// defaultArenaSlots. Peak live-target memory is independent of
+	// V4Targets/V6Targets.
+	TargetArenaSlots int
+
 	Operators []OperatorSpec
+}
+
+// arenaSlots resolves the configured arena bound.
+func (c Config) arenaSlots() int {
+	if c.TargetArenaSlots > 0 {
+		return c.TargetArenaSlots
+	}
+	return defaultArenaSlots
 }
 
 // DefaultConfig is the experiment-scale world: hitlists at roughly 1/40 of
@@ -191,6 +215,32 @@ func TestConfig() Config {
 	c.SmallAnycast = 8
 	c.RegionalAnycast = 12
 	c.Operators = scaleOperators(DefaultOperators(), 8)
+	return c
+}
+
+// PaperScaleConfig is an Internet-scale world approaching the paper's
+// census: ~1M IPv4 /24s, 150k IPv6 /48s and 80k origin ASes, with the
+// anycast landscape scaled up ~10× from DefaultConfig. It is lazy by
+// default — eagerly materializing a world this size is exactly what the
+// streaming generator exists to avoid. Used by the large-world smoke
+// test and the BENCH_netsim benchmarks.
+func PaperScaleConfig() Config {
+	c := DefaultConfig()
+	c.V4Targets = 1_000_000
+	c.V6Targets = 150_000
+	c.NumASes = 80_000
+	c.GlobalUnicastV4 = 16_000
+	c.MediumAnycast = 3_000
+	c.SmallAnycast = 400
+	c.RegionalAnycast = 750
+	c.LazyTargets = true
+	ops := make([]OperatorSpec, len(c.Operators))
+	copy(ops, c.Operators)
+	for i := range ops {
+		ops[i].V4Prefixes *= 10
+		ops[i].V6Prefixes *= 10
+	}
+	c.Operators = ops
 	return c
 }
 

@@ -255,41 +255,47 @@ func markFlags(ases []AS, quotas []int, totalTargets int, seed uint64, frac floa
 	}
 }
 
-// prefixAllocator hands out aligned address blocks and records BGP
-// announcements.
+// prefixAllocator hands out aligned address-slot blocks; the layout pass
+// replays it to compute announcement geometry without building targets.
 type prefixAllocator struct {
 	v6   bool
 	slot uint32 // next free /24 (v4) or /48 (v6) slot index
 }
 
-// alloc reserves a block of 2^k slots aligned to its size and returns the
-// first slot index and prefix.
-func (a *prefixAllocator) alloc(log2slots int) (uint32, netip.Prefix) {
+// advance reserves a block of 2^k slots aligned to its size and returns
+// the first slot index.
+func (a *prefixAllocator) advance(log2slots int) uint32 {
 	size := uint32(1) << log2slots
 	start := (a.slot + size - 1) &^ (size - 1)
 	a.slot = start + size
-	if a.v6 {
+	return start
+}
+
+// blockPrefix returns the announced prefix of an aligned block of 2^k
+// slots starting at start.
+func blockPrefix(v6 bool, start uint32, log2slots int) netip.Prefix {
+	if v6 {
 		var b [16]byte
 		b[0], b[1] = 0x2a, 0x0a
 		b[2] = byte(start >> 24)
 		b[3] = byte(start >> 16)
 		b[4] = byte(start >> 8)
 		b[5] = byte(start)
-		return start, netip.PrefixFrom(netip.AddrFrom16(b), 48-log2slots)
+		return netip.PrefixFrom(netip.AddrFrom16(b), 48-log2slots)
 	}
 	var b [4]byte
 	v := 0x01000000 + start*256
 	b[0], b[1], b[2], b[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
-	return start, netip.PrefixFrom(netip.AddrFrom4(b), 24-log2slots)
+	return netip.PrefixFrom(netip.AddrFrom4(b), 24-log2slots)
 }
 
 // slotPrefix returns the /24 or /48 prefix and representative address for
 // a slot.
-func (a *prefixAllocator) slotPrefix(slot uint32, repOffset uint8) (netip.Prefix, netip.Addr) {
+func slotPrefix(v6 bool, slot uint32, repOffset uint8) (netip.Prefix, netip.Addr) {
 	if repOffset == 0 {
 		repOffset = 1
 	}
-	if a.v6 {
+	if v6 {
 		var b [16]byte
 		b[0], b[1] = 0x2a, 0x0a
 		b[2] = byte(slot >> 24)

@@ -1,7 +1,6 @@
 package netsim
 
 import (
-	"fmt"
 	"math"
 	"sort"
 
@@ -29,290 +28,71 @@ func (w *World) pickSitesBiased(pool []cities.City, n int, spacingKm float64, sa
 // paper scale).
 const hijackEventsV4 = 19
 
-// genTargets builds the target universe for one address family, allocating
-// addresses and BGP announcements as it goes.
+// genTargets builds the target universe for one address family. The
+// heavy lifting is split between the layout pass (layout.go — batch,
+// slot and announcement geometry, AS quota/flag marking) and per-target
+// derivation (derive.go). Eager worlds (the default) materialize every
+// target and announcement through the derivation path; lazy worlds stop
+// after the layout and derive targets on demand, so the two modes are
+// byte-identical by construction.
 func (w *World) genTargets(v6 bool) error {
-	total := w.Cfg.V4Targets
-	if v6 {
-		total = w.Cfg.V6Targets
+	L, err := w.buildLayout(v6)
+	if err != nil {
+		return err
 	}
-	if total == 0 {
+	if L == nil {
 		return nil
 	}
-	alloc := &prefixAllocator{v6: v6}
-	fam := uint64(4)
 	if v6 {
-		fam = 6
+		w.layoutV6 = L
+	} else {
+		w.layoutV4 = L
 	}
-
-	// 1. Operator prefixes.
-	used := 0
-	for oi, spec := range w.Cfg.Operators {
-		n := spec.V4Prefixes
+	if w.Cfg.LazyTargets {
+		arena := newTargetArena(w.Cfg.arenaSlots())
 		if v6 {
-			n = spec.V6Prefixes
-		}
-		if spec.Name == "Microsoft" && !v6 {
-			n = w.Cfg.GlobalUnicastV4
-		}
-		if n == 0 {
-			continue
-		}
-		batch := w.makeOperatorTargets(oi, spec, n, v6)
-		w.emit(spec.ASN, true, v6, alloc, batch)
-		used += n
-	}
-
-	// 2. Event ASes (IPv6 only): eyeball networks with instability
-	// windows or mid-census anycast births.
-	if v6 {
-		for _, ev := range defaultEventASes(w.Cfg.V6Targets) {
-			batch := make([]Target, 0, ev.targets)
-			asEntry := w.ASes[w.asIdx[ev.asn]]
-			for i := 0; i < ev.targets; i++ {
-				h := mix(w.seed, fam, 0xe1e1, uint64(ev.asn), uint64(i))
-				t := Target{
-					Origin:   ev.asn,
-					Kind:     Unicast,
-					CityIdx:  asEntry.CityIdx,
-					Loc:      asEntry.City.Location,
-					Operator: -1,
-				}
-				if ev.bornAnycast > 0 {
-					t.Kind = Anycast
-					t.AnycastBornDay = ev.bornAnycast
-					for _, cn := range ev.siteCities {
-						ci, err := w.cityIndex(cn)
-						if err != nil {
-							return err
-						}
-						t.Sites = append(t.Sites, Site{City: w.DB.All()[ci], CityIdx: ci})
-					}
-				}
-				w.setResponsive(&t, h, w.Cfg.V6ICMP, w.Cfg.V6TCP, w.Cfg.V6DNS)
-				batch = append(batch, t)
-			}
-			w.emit(ev.asn, true, v6, alloc, batch)
-			used += ev.targets
-		}
-	}
-
-	// 3. Generic anycast deployments.
-	nMedium, nSmall, nRegional := w.Cfg.MediumAnycast, w.Cfg.SmallAnycast, w.Cfg.RegionalAnycast
-	if v6 {
-		nMedium, nSmall, nRegional = nMedium/3, nSmall/3, nRegional/3
-	}
-	genericBase := ASN(300000)
-	if v6 {
-		genericBase = 400000
-	}
-	for i := 0; i < nMedium+nSmall+nRegional; i++ {
-		asn := genericBase + ASN(i)
-		h := mix(w.seed, fam, 0x9e9e, uint64(i))
-		t := Target{Origin: asn, Kind: Anycast, Operator: -1}
-		switch {
-		case i < nMedium:
-			ns := 4 + pick(h, 13)
-			t.Sites = w.pickSitesBiased(w.cityPool(OperatorSpec{}), ns, 400, h, 0.25)
-		case i < nMedium+nSmall:
-			ns := 2 + pick(h, 2)
-			t.Sites = w.smallGlobalSites(ns, h)
-		default:
-			ct := cities.Continents()[pick(splitmix64(h), 6)]
-			ns := 2 + pick(h>>8, 3)
-			t.Sites = w.pickSitesBiased(w.DB.InContinent(ct), ns, 150, h, 0.25)
-		}
-		t.CityIdx = t.Sites[0].CityIdx
-		t.Loc = t.Sites[0].City.Location
-		// Deployment lifecycle dynamics (§7): anycast services launch,
-		// retire and toggle during the census. The GCD_LS comparison found
-		// ~14% churn between the Feb '24 and Aug '25 sweeps, and §5.1.6
-		// attributes a fifth of the GCD union to partial-period anycast.
-		// The first deployments (root-server-style DNS infrastructure)
-		// stay static.
-		switch u := unitFloat(splitmix64(h ^ 0xd14a)); {
-		case i < 8:
-		case u < 0.10:
-			t.AnycastBornDay = 60 + pick(h>>21, 400)
-		case u < 0.20:
-			t.AnycastUntilDay = 60 + pick(h>>21, 400)
-		case u < 0.30:
-			cursor := pick(h>>19, 140)
-			for k := 0; cursor < 500 && k < 4; k++ {
-				hk := mix(h, uint64(k), 0x9d7)
-				length := 30 + pick(hk, 90)
-				t.TempWindows = append(t.TempWindows, DayRange{From: cursor, To: cursor + length})
-				cursor += length + 25 + pick(hk>>13, 110)
-			}
-		}
-		// The first few medium deployments are DNS-only anycast (the
-		// G-root/LACNIC/eBay pattern of §5.3.1).
-		if i < nMedium && i < 8 && !v6 {
-			t.Responsive = [3]bool{false, false, true}
-			t.Chaos = ChaosPerSite
+			w.arenaV6 = arena
 		} else {
-			w.setResponsive(&t, h, 0.95, 0.4, 0.12)
-			if t.Responsive[packet.DNS] {
-				t.Chaos = ChaosPerSite
-			}
+			w.arenaV4 = arena
 		}
-		w.emit(asn, false, v6, alloc, []Target{t})
-		used++
+		return nil
 	}
-
-	// 4. Unicast fill across the generated AS population.
-	remaining := total - used
-	if remaining < 0 {
-		return fmt.Errorf("netsim: %d targets requested but %d already used by operators (family v6=%v)", total, used, v6)
-	}
-	quotas := w.unicastQuotas(remaining, v6)
-	icmpF, tcpF, dnsF := w.Cfg.UnicastICMP, w.Cfg.UnicastTCP, w.Cfg.UnicastDNS
-	if v6 {
-		icmpF, tcpF, dnsF = w.Cfg.V6ICMP, w.Cfg.V6TCP, w.Cfg.V6DNS
-	}
-	hijacksLeft := 0
-	if !v6 {
-		hijacksLeft = hijackEventsV4
-	}
-	quarterDays := []int{90, 180, 270, 360, 450}
-	for i := range w.ASes {
-		q := quotas[i]
-		if q == 0 {
-			continue
-		}
-		a := &w.ASes[i]
-		batch := make([]Target, 0, q)
-		for j := 0; j < q; j++ {
-			h := mix(w.seed, fam, 0xf111, uint64(a.Number), uint64(j))
-			t := Target{
-				Origin:   a.Number,
-				Kind:     Unicast,
-				CityIdx:  a.CityIdx,
-				Loc:      a.City.Location,
-				Operator: -1,
-			}
-			w.setResponsive(&t, h, icmpF, tcpF, dnsF)
-			if t.Responsive[packet.DNS] {
-				// Appendix C nameserver CHAOS behaviour mix.
-				switch u := unitFloat(splitmix64(h ^ 0xc4a05)); {
-				case u < 0.20:
-					t.Chaos = ChaosNone
-				case u < 0.32:
-					t.Chaos = ChaosPerServer
-					t.CoLocated = 2 + pick(h>>17, 3)
-				default:
-					t.Chaos = ChaosReplicated
-				}
-			}
-			// One-day hijack/misconfiguration events: anycast at the home
-			// city plus one anomalous remote city for a single day.
-			if hijacksLeft > 0 && chance(splitmix64(h^0x41ac), float64(hijackEventsV4)/float64(remaining)) {
-				hijacksLeft--
-				day := pick(h>>23, 500)
-				remote := w.sampleCityWeighted(splitmix64(h ^ 0x7e))
-				t.TempWindows = []DayRange{{From: day, To: day}}
-				t.Sites = []Site{
-					{City: a.City, CityIdx: a.CityIdx},
-					{City: w.DB.All()[remote], CityIdx: remote},
-				}
-			}
-			// Quarterly IPv6 hitlist growth.
-			if v6 && chance(splitmix64(h^0x6406), w.Cfg.V6GrowthPerQuarter*float64(len(quarterDays))) {
-				t.HitlistFromDay = quarterDays[pick(h>>31, len(quarterDays))]
-			}
-			batch = append(batch, t)
-		}
-		w.emit(a.Number, false, v6, alloc, batch)
-	}
+	w.materialize(L)
 	return nil
 }
 
-// makeOperatorTargets builds the target list for one operator spec.
-func (w *World) makeOperatorTargets(oi int, spec OperatorSpec, n int, v6 bool) []Target {
-	op := &w.Operators[oi]
-	fam := uint64(4)
-	if v6 {
-		fam = 6
+// materialize builds the family's full target and announcement slices by
+// walking every batch through the derivation path.
+func (w *World) materialize(L *famLayout) {
+	targets := make([]Target, 0, L.total)
+	bgps := make([]BGPPrefix, 0, L.nBGP)
+	var bw blockWalker
+	for bi := range L.batches {
+		b := &L.batches[bi]
+		bw.seek(w.seed, L.v6, b, 0)
+		for bl := 0; bl < b.count; {
+			bp := BGPPrefix{
+				Prefix: blockPrefix(L.v6, bw.start, bw.log2),
+				Origin: b.asn,
+			}
+			for j := 0; j < bw.fill; j++ {
+				var t Target
+				w.deriveInto(L, b, &bw, bl, &t)
+				bp.Targets = append(bp.Targets, t.ID)
+				targets = append(targets, t)
+				bl++
+			}
+			bgps = append(bgps, bp)
+			if bl < b.count {
+				bw.next()
+			}
+		}
 	}
-	out := make([]Target, 0, n)
-	for i := 0; i < n; i++ {
-		h := mix(w.seed, fam, 0x0b0b, uint64(spec.ASN), uint64(i))
-		t := Target{
-			Origin:   spec.ASN,
-			Kind:     Anycast,
-			Sites:    op.Sites,
-			Operator: oi,
-			CityIdx:  op.Sites[0].CityIdx,
-			Loc:      op.Sites[0].City.Location,
-		}
-		if spec.DNSOnly {
-			t.Responsive = [3]bool{false, false, true}
-		} else {
-			w.setResponsive(&t, h, spec.ICMPResp, spec.TCPResp, spec.DNSResp)
-		}
-		if t.Responsive[packet.DNS] {
-			t.Chaos = spec.Chaos
-			if spec.Chaos == ChaosPerServer {
-				t.CoLocated = 2 + pick(h>>13, 3)
-			}
-		}
-		switch {
-		case spec.Name == "Microsoft" && !v6:
-			// Globally announced, internally unicast: the server sits at
-			// one of the operator's major metros.
-			t.Kind = GlobalUnicast
-			srv := op.Sites[pick(h>>5, len(op.Sites))]
-			t.Loc, t.CityIdx = srv.City.Location, srv.CityIdx
-		case spec.Temp && unitFloat(splitmix64(h^0x7e47)) < 0.8:
-			// Imperva-style on-demand anycast windows.
-			nw := 1 + pick(h>>9, 3)
-			for k := 0; k < nw; k++ {
-				hk := mix(h, uint64(k))
-				start := pick(hk, 520)
-				t.TempWindows = append(t.TempWindows, DayRange{
-					From: start, To: start + 1 + pick(hk>>11, 9),
-				})
-			}
-			sort.Slice(t.TempWindows, func(a, b int) bool {
-				return t.TempWindows[a].From < t.TempWindows[b].From
-			})
-		case spec.PartialFrac > 0 && unitFloat(splitmix64(h^0x9a47)) < spec.PartialFrac:
-			// Partial anycast: representative address unicast, a run of 6
-			// anycast addresses hidden inside the /24 (§5.7).
-			t.Kind = PartialAnycast
-			start := uint8(8 + pick(h>>7, 200))
-			for k := uint8(0); k < 6; k++ {
-				t.PartialAddrs = append(t.PartialAddrs, start+k)
-			}
-			srvCity := w.sampleCityWeighted(splitmix64(h ^ 0x514))
-			t.Loc, t.CityIdx = w.DB.All()[srvCity].Location, srvCity
-		case spec.BackingV6Frac > 0 && v6 && unitFloat(splitmix64(h^0xbac4)) < spec.BackingV6Frac:
-			// More-specific unicast /48 with backing anycast (§6).
-			t.Kind = BackingAnycast
-			srv := op.Sites[pick(h>>5, len(op.Sites))]
-			t.Loc, t.CityIdx = srv.City.Location, srv.CityIdx
-		case spec.DutyFrac > 0 && unitFloat(splitmix64(h^0xd077)) < spec.DutyFrac:
-			// Dynamic address utilisation (§7): the prefix's anycast
-			// announcement toggles on multi-week duty cycles, active for
-			// roughly 20–80% of the census period.
-			cursor := pick(h>>19, 140)
-			for k := 0; cursor < 500 && k < 4; k++ {
-				hk := mix(h, uint64(k), 0xd077)
-				length := 30 + pick(hk, 90)
-				t.TempWindows = append(t.TempWindows, DayRange{From: cursor, To: cursor + length})
-				cursor += length + 25 + pick(hk>>13, 110)
-			}
-		case spec.GrowFrac > 0 && unitFloat(splitmix64(h^0x640b)) < spec.GrowFrac:
-			t.AnycastBornDay = 60 + pick(h>>15, 400)
-		}
-		// The Aug '25 IPv6 hitlist jump: a burst of Cloudflare Spectrum
-		// /48s join the hitlist around day 505 and double GCD counts.
-		if v6 && spec.Name == "Cloudflare Spectrum" && unitFloat(splitmix64(h^0x505)) < 0.45 {
-			t.HitlistFromDay = 505
-		}
-		out = append(out, t)
+	if L.v6 {
+		w.TargetsV6, w.BGPPrefixesV6 = targets, bgps
+	} else {
+		w.TargetsV4, w.BGPPrefixesV4 = targets, bgps
 	}
-	return out
 }
 
 // smallGlobalSites picks ns sites in ns distinct continents.
@@ -401,39 +181,4 @@ func eventASNs() map[ASN]bool {
 		out[ev.asn] = true
 	}
 	return out
-}
-
-// emit appends a batch of same-origin targets, allocating addresses and
-// grouping them into BGP announcements.
-func (w *World) emit(asn ASN, operator, v6 bool, alloc *prefixAllocator, batch []Target) {
-	targets := &w.TargetsV4
-	bgps := &w.BGPPrefixesV4
-	if v6 {
-		targets = &w.TargetsV6
-		bgps = &w.BGPPrefixesV6
-	}
-	i := 0
-	for i < len(batch) {
-		remaining := len(batch) - i
-		h := mix(w.seed, uint64(asn), uint64(i), 0xb69)
-		log2 := bgpSizeClass(h, operator, v6, remaining)
-		start, prefix := alloc.alloc(log2)
-		bp := BGPPrefix{Prefix: prefix, Origin: asn}
-		fill := min(1<<log2, remaining)
-		for j := 0; j < fill; j++ {
-			t := batch[i+j]
-			id := len(*targets)
-			t.ID = id
-			rep := uint8(1 + pick(mix(h, uint64(j), 0x4e9), 254))
-			if t.Kind == PartialAnycast {
-				rep = uint8(1 + pick(mix(h, uint64(j), 0x4e9), 7))
-			}
-			t.Prefix, t.Addr = alloc.slotPrefix(start+uint32(j), rep)
-			t.BGPPrefix = len(*bgps)
-			bp.Targets = append(bp.Targets, id)
-			*targets = append(*targets, t)
-		}
-		*bgps = append(*bgps, bp)
-		i += fill
-	}
 }

@@ -1,0 +1,220 @@
+package netsim
+
+import "sort"
+
+// Streaming target access. These accessors are the family-universe API
+// every census stage uses; they work identically on eager worlds (backed
+// by the materialized slices) and lazy worlds (backed by the layout, the
+// derivation path and the bounded arena):
+//
+//   - NumTargets / TargetAt: random access by family-wide target ID.
+//   - IterTargets / IterTargetsRange: ID-ordered batched streaming; the
+//     batch slice is reused between invocations, so callers must not
+//     retain it (copy what outlives the callback).
+//   - NumBGPPrefixes / BGPPrefixAt: the announcement table.
+//
+// Determinism: iteration order is always ascending target ID, and every
+// derived target is a pure function of (seed, ID), so eager and lazy
+// worlds — and sequential and sharded consumers — see byte-identical
+// universes.
+
+// DefaultIterBatch is the streaming batch size when the caller passes 0.
+const DefaultIterBatch = 1024
+
+// NumTargets returns the number of targets in the address family.
+func (w *World) NumTargets(v6 bool) int {
+	if !w.Cfg.LazyTargets {
+		if v6 {
+			return len(w.TargetsV6)
+		}
+		return len(w.TargetsV4)
+	}
+	L := w.layout(v6)
+	if L == nil {
+		return 0
+	}
+	return L.total
+}
+
+// layout returns the family's generation layout (nil for an empty
+// family).
+func (w *World) layout(v6 bool) *famLayout {
+	if v6 {
+		return w.layoutV6
+	}
+	return w.layoutV4
+}
+
+// TargetAt returns the target with the given family-wide ID. On an eager
+// world this is a slice index; on a lazy world a warm (arena-hit) lookup
+// is one atomic load plus an ID compare, and a miss derives the target
+// and caches it. The returned pointer stays valid after eviction, but
+// distinct calls may return distinct (equal-valued) pointers — identity
+// comparisons must use Target.ID.
+//
+//laces:hotpath warm arena hit is one atomic load plus an ID compare
+func (w *World) TargetAt(v6 bool, id int) *Target {
+	if !w.Cfg.LazyTargets {
+		if v6 {
+			return &w.TargetsV6[id]
+		}
+		return &w.TargetsV4[id]
+	}
+	a := w.arenaV4
+	if v6 {
+		a = w.arenaV6
+	}
+	if a != nil {
+		if t := a.get(id); t != nil {
+			if tel := w.tel; tel != nil {
+				countLookup(&tel.arena, uint64(id), true)
+			}
+			return t
+		}
+	}
+	return w.targetAtMiss(a, w.layout(v6), id)
+}
+
+// targetAtMiss is TargetAt's cold path: derive, publish to the arena,
+// account the miss.
+func (w *World) targetAtMiss(a *targetArena, L *famLayout, id int) *Target {
+	if L == nil || id < 0 || id >= L.total {
+		panic("netsim: TargetAt index out of range")
+	}
+	t := new(Target)
+	w.deriveTargetID(L, id, t)
+	a.put(t)
+	if tel := w.tel; tel != nil {
+		countLookup(&tel.arena, uint64(id), false)
+	}
+	return t
+}
+
+// IterTargets streams the family's whole target universe in ID order,
+// invoking fn with consecutive batches of up to batchSize targets
+// (DefaultIterBatch when <= 0). fn returning false stops the iteration.
+// The batch slice is only valid during the callback.
+func (w *World) IterTargets(v6 bool, batchSize int, fn func(batch []Target) bool) {
+	w.IterTargetsRange(v6, 0, w.NumTargets(v6), batchSize, fn)
+}
+
+// IterTargetsRange streams targets with IDs in [lo, hi), in ID order, in
+// batches of up to batchSize. Contiguous ID ranges are exactly the
+// shards internal/par plans (shard s covers [s·n/k, (s+1)·n/k)), so a
+// sharded consumer streams its range without touching any other shard's
+// targets. On a lazy world the batch buffer is reused and derivation
+// walks each announcement block once, so a full sweep is O(n) with O(1)
+// live targets; on an eager world batches are subslices of the
+// materialized universe (no copying).
+func (w *World) IterTargetsRange(v6 bool, lo, hi, batchSize int, fn func(batch []Target) bool) {
+	n := w.NumTargets(v6)
+	lo, hi = max(lo, 0), min(hi, n)
+	if lo >= hi {
+		return
+	}
+	if batchSize <= 0 {
+		batchSize = DefaultIterBatch
+	}
+	if !w.Cfg.LazyTargets {
+		all := w.Targets(v6)
+		for start := lo; start < hi; start += batchSize {
+			if !fn(all[start:min(start+batchSize, hi)]) {
+				return
+			}
+		}
+		return
+	}
+	L := w.layout(v6)
+	buf := make([]Target, 0, batchSize)
+	bi := sort.Search(len(L.batches), func(k int) bool {
+		return L.batches[k].startID > lo
+	}) - 1
+	var bw blockWalker
+	for id := lo; id < hi; bi++ {
+		b := &L.batches[bi]
+		bl := id - b.startID
+		bw.seek(w.seed, L.v6, b, bl)
+		for ; bl < b.count && id < hi; bl, id = bl+1, id+1 {
+			for bl >= bw.i+bw.fill {
+				bw.next()
+			}
+			buf = append(buf, Target{})
+			w.deriveInto(L, b, &bw, bl, &buf[len(buf)-1])
+			if len(buf) == batchSize {
+				if !fn(buf) {
+					return
+				}
+				buf = buf[:0]
+			}
+		}
+	}
+	if len(buf) > 0 {
+		fn(buf)
+	}
+}
+
+// NumBGPPrefixes returns the number of BGP announcements in the family.
+func (w *World) NumBGPPrefixes(v6 bool) int {
+	if !w.Cfg.LazyTargets {
+		return len(w.BGPPrefixes(v6))
+	}
+	L := w.layout(v6)
+	if L == nil {
+		return 0
+	}
+	return L.nBGP
+}
+
+// BGPPrefixAt returns the BGP announcement with the given family-wide
+// index. On a lazy world the announcement (including its contiguous
+// target-ID run) is derived on demand; the returned value is fresh, not
+// cached.
+func (w *World) BGPPrefixAt(v6 bool, bi int) BGPPrefix {
+	if !w.Cfg.LazyTargets {
+		return w.BGPPrefixes(v6)[bi]
+	}
+	L := w.layout(v6)
+	b := L.batchForBGP(bi)
+	if b == nil {
+		panic("netsim: BGPPrefixAt index out of range")
+	}
+	var bw blockWalker
+	bw.seekBGP(w.seed, L.v6, b, bi)
+	ids := make([]int, bw.fill)
+	for j := range ids {
+		ids[j] = b.startID + bw.i + j
+	}
+	return BGPPrefix{
+		Prefix:  blockPrefix(L.v6, bw.start, bw.log2),
+		Origin:  b.asn,
+		Targets: ids,
+	}
+}
+
+// seekBGP positions the walker on the block with family-wide BGP index
+// bi, using the batch checkpoints to bound the replay.
+func (bw *blockWalker) seekBGP(seed uint64, v6 bool, b *targetBatch, bi int) {
+	bw.seed, bw.v6, bw.b = seed, v6, b
+	bw.i, bw.slot, bw.bgp = 0, b.startSlot, b.startBGP
+	if n := len(b.ckpts); n > 0 {
+		k := sort.Search(n, func(k int) bool { return b.ckpts[k].bgp > bi })
+		if k > 0 {
+			ck := b.ckpts[k-1]
+			bw.i, bw.slot, bw.bgp = ck.i, ck.slot, ck.bgp
+		}
+	}
+	bw.load()
+	for bw.bgp < bi {
+		bw.next()
+	}
+}
+
+// MaterializedTargets returns the number of targets currently resident
+// in memory: the full universe on an eager world, the arena occupancy on
+// a lazy world. It backs the laces_netsim_targets_live gauge.
+func (w *World) MaterializedTargets() int64 {
+	if !w.Cfg.LazyTargets {
+		return int64(len(w.TargetsV4) + len(w.TargetsV6))
+	}
+	return w.arenaV4.Live() + w.arenaV6.Live()
+}

@@ -1,0 +1,266 @@
+package netsim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"testing"
+)
+
+// lazyConfig returns TestConfig with lazy target generation.
+func lazyConfig(seed uint64) Config {
+	c := TestConfig()
+	c.Seed = seed
+	c.LazyTargets = true
+	return c
+}
+
+// streamFingerprint hashes the family's full target universe and
+// announcement table through the streaming accessors, which work on both
+// eager and lazy worlds — equal fingerprints mean byte-identical
+// universes.
+func streamFingerprint(w *World, v6 bool) uint64 {
+	h := fnv.New64a()
+	w.IterTargets(v6, 0, func(batch []Target) bool {
+		for i := range batch {
+			t := &batch[i]
+			fmt.Fprintf(h, "%d|%s|%s|%d|%d|%v|%d|%v|%v|%d|%d|%v|%v|%d|%d|%d|%d\n",
+				t.ID, t.Prefix, t.Addr, t.Origin, t.Kind, t.Loc, t.CityIdx,
+				t.Responsive, t.TempWindows, t.AnycastBornDay, t.AnycastUntilDay,
+				t.PartialAddrs, t.Chaos, t.CoLocated, t.BGPPrefix, t.HitlistFromDay, t.Operator)
+			for _, s := range t.Sites {
+				fmt.Fprintf(h, "site %s %d\n", s.City.Name, s.CityIdx)
+			}
+		}
+		return true
+	})
+	for bi := 0; bi < w.NumBGPPrefixes(v6); bi++ {
+		bp := w.BGPPrefixAt(v6, bi)
+		fmt.Fprintf(h, "bgp %s %d %v\n", bp.Prefix, bp.Origin, bp.Targets)
+	}
+	return h.Sum64()
+}
+
+// TestLazyEagerEquivalence pins the tentpole contract: a lazy world's
+// streamed universe is byte-identical to the eager world's materialized
+// one, across seeds, for both families.
+func TestLazyEagerEquivalence(t *testing.T) {
+	for _, seed := range []uint64{0x1ace5, 7, 42} {
+		cfg := TestConfig()
+		cfg.Seed = seed
+		eager, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazy, err := New(lazyConfig(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v6 := range []bool{false, true} {
+			if e, l := eager.NumTargets(v6), lazy.NumTargets(v6); e != l {
+				t.Fatalf("seed %#x v6=%v: NumTargets eager=%d lazy=%d", seed, v6, e, l)
+			}
+			if e, l := eager.NumBGPPrefixes(v6), lazy.NumBGPPrefixes(v6); e != l {
+				t.Fatalf("seed %#x v6=%v: NumBGPPrefixes eager=%d lazy=%d", seed, v6, e, l)
+			}
+			if e, l := streamFingerprint(eager, v6), streamFingerprint(lazy, v6); e != l {
+				t.Errorf("seed %#x v6=%v: universe fingerprints differ: eager=%x lazy=%x", seed, v6, e, l)
+			}
+			// Random access agrees with streaming, and is stable across
+			// repeated lookups (arena hit after miss).
+			n := lazy.NumTargets(v6)
+			for _, id := range []int{0, 1, n / 3, n / 2, n - 2, n - 1} {
+				a, b := lazy.TargetAt(v6, id), lazy.TargetAt(v6, id)
+				if a.ID != id || b.ID != id {
+					t.Fatalf("seed %#x v6=%v: TargetAt(%d) returned ID %d/%d", seed, v6, id, a.ID, b.ID)
+				}
+				e := eager.TargetAt(v6, id)
+				if a.Prefix != e.Prefix || a.Addr != e.Addr || a.Origin != e.Origin ||
+					a.Kind != e.Kind || a.BGPPrefix != e.BGPPrefix || a.Operator != e.Operator {
+					t.Errorf("seed %#x v6=%v: TargetAt(%d) differs eager vs lazy", seed, v6, id)
+				}
+			}
+		}
+	}
+}
+
+// TestIterTargetsRangeShards pins the sharding contract: contiguous
+// ranges concatenated in order reproduce the full iteration exactly, so
+// internal/par shards see the same universe as a sequential sweep.
+func TestIterTargetsRangeShards(t *testing.T) {
+	w, err := New(lazyConfig(0x1ace5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := w.NumTargets(false)
+	var full []int
+	w.IterTargets(false, 100, func(batch []Target) bool {
+		for i := range batch {
+			full = append(full, batch[i].ID)
+		}
+		return true
+	})
+	if len(full) != n {
+		t.Fatalf("full iteration yielded %d of %d targets", len(full), n)
+	}
+	var sharded []int
+	for _, shards := range []int{3, 7} {
+		sharded = sharded[:0]
+		for s := 0; s < shards; s++ {
+			lo, hi := s*n/shards, (s+1)*n/shards
+			w.IterTargetsRange(false, lo, hi, 64, func(batch []Target) bool {
+				for i := range batch {
+					sharded = append(sharded, batch[i].ID)
+				}
+				return true
+			})
+		}
+		if len(sharded) != len(full) {
+			t.Fatalf("%d shards yielded %d of %d targets", shards, len(sharded), len(full))
+		}
+		for i := range full {
+			if sharded[i] != full[i] {
+				t.Fatalf("%d shards: position %d has ID %d, want %d", shards, i, sharded[i], full[i])
+			}
+		}
+	}
+	// Early stop honours the callback's verdict.
+	seen := 0
+	w.IterTargets(false, 50, func(batch []Target) bool {
+		seen += len(batch)
+		return seen < 100
+	})
+	if seen >= n {
+		t.Fatalf("early stop ignored: saw %d of %d", seen, n)
+	}
+}
+
+// TestTargetAtWarmNoAllocs pins the satellite hot-path guarantee: a warm
+// arena-hit lookup performs zero allocations.
+func TestTargetAtWarmNoAllocs(t *testing.T) {
+	w, err := New(lazyConfig(0x1ace5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := w.NumTargets(false) / 2
+	w.TargetAt(false, id) // prime the arena
+	if n := testing.AllocsPerRun(100, func() {
+		if w.TargetAt(false, id).ID != id {
+			t.Fatal("wrong target")
+		}
+	}); n != 0 {
+		t.Fatalf("warm TargetAt allocates %.1f per run, want 0", n)
+	}
+	// The same holds with telemetry installed (one striped add).
+	w.SetTelemetry(&Telemetry{})
+	if n := testing.AllocsPerRun(100, func() {
+		w.TargetAt(false, id)
+	}); n != 0 {
+		t.Fatalf("warm TargetAt with telemetry allocates %.1f per run, want 0", n)
+	}
+}
+
+// TestLazyAccessorsPanic pins the mode boundary: the materialized-slice
+// accessors refuse to run on a lazy world instead of returning empty
+// slices that would silently corrupt a census.
+func TestLazyAccessorsPanic(t *testing.T) {
+	w, err := New(lazyConfig(0x1ace5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, fn := range map[string]func(){
+		"Targets":     func() { w.Targets(false) },
+		"BGPPrefixes": func() { w.BGPPrefixes(false) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a lazy world did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestArenaTelemetry pins the satellite observability contract: arena
+// hits/misses and the live-target gauge count lazy lookups, nil-safely.
+func TestArenaTelemetry(t *testing.T) {
+	var nilTel *Telemetry
+	if nilTel.ArenaHits() != 0 || nilTel.ArenaMisses() != 0 || nilTel.LiveTargets() != 0 {
+		t.Fatal("nil telemetry must report zeros")
+	}
+	w, err := New(lazyConfig(0x1ace5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := &Telemetry{}
+	w.SetTelemetry(tel)
+	w.TargetAt(false, 10) // miss: derive + publish
+	w.TargetAt(false, 10) // hit
+	w.TargetAt(false, 10) // hit
+	if m := tel.ArenaMisses(); m != 1 {
+		t.Fatalf("ArenaMisses = %d, want 1", m)
+	}
+	if h := tel.ArenaHits(); h != 2 {
+		t.Fatalf("ArenaHits = %d, want 2", h)
+	}
+	if l := tel.LiveTargets(); l != 1 {
+		t.Fatalf("LiveTargets = %d, want 1", l)
+	}
+	if live := w.MaterializedTargets(); live != 1 {
+		t.Fatalf("MaterializedTargets = %d, want 1", live)
+	}
+}
+
+// TestLazyBoundedMemory pins the tentpole memory contract: peak live heap
+// of a lazy world stays under a fixed ceiling regardless of the target
+// count, and the arena occupancy never exceeds its configured bound.
+func TestLazyBoundedMemory(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large worlds: skipped in -short")
+	}
+	const ceilingMB = 32
+	heapAfter := func(targets int) uint64 {
+		cfg := TestConfig()
+		cfg.LazyTargets = true
+		cfg.V4Targets = targets
+		cfg.V6Targets = targets / 8
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		w, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sweep the whole universe and scatter random lookups: the world
+		// must not accumulate targets beyond the arena.
+		count := 0
+		w.IterTargets(false, 0, func(batch []Target) bool { count += len(batch); return true })
+		if count != targets {
+			t.Fatalf("swept %d of %d targets", count, targets)
+		}
+		for id := 0; id < targets; id += targets / 1000 {
+			w.TargetAt(false, id)
+		}
+		if live, bound := w.MaterializedTargets(), int64(2*w.Cfg.arenaSlots()); live > bound {
+			t.Fatalf("%d targets: %d live exceeds arena bound %d", targets, live, bound)
+		}
+		runtime.GC()
+		runtime.ReadMemStats(&after)
+		runtime.KeepAlive(w)
+		if after.HeapAlloc < before.HeapAlloc {
+			return 0
+		}
+		return after.HeapAlloc - before.HeapAlloc
+	}
+	small := heapAfter(100_000)
+	large := heapAfter(800_000)
+	t.Logf("live heap: 100k targets = %.1f MB, 800k targets = %.1f MB",
+		float64(small)/(1<<20), float64(large)/(1<<20))
+	for _, h := range []uint64{small, large} {
+		if h > ceilingMB<<20 {
+			t.Fatalf("live heap %.1f MB exceeds the %d MB ceiling", float64(h)/(1<<20), ceilingMB)
+		}
+	}
+}

@@ -36,6 +36,16 @@ type World struct {
 	nCities int
 	dist    []float64 // nCities × nCities great circle km
 
+	// Generation layouts (batch, slot and announcement geometry). Always
+	// built — eager worlds materialize through them, lazy worlds derive
+	// targets from them on demand (see stream.go).
+	layoutV4 *famLayout
+	layoutV6 *famLayout
+
+	// Bounded caches of materialized targets; non-nil only on lazy worlds.
+	arenaV4 *targetArena
+	arenaV6 *targetArena
+
 	imp Impairer
 	tel *Telemetry
 
@@ -81,6 +91,9 @@ func (w *World) Impairer() Impairer { return w.imp }
 // telemetry installed the probe hot path pays a single nil check;
 // counting never alters measurement results.
 func (w *World) SetTelemetry(t *Telemetry) {
+	if t != nil {
+		t.live = w.MaterializedTargets
+	}
 	w.tel = t
 	w.cache.tel = t
 }
@@ -129,16 +142,27 @@ func (w *World) OperatorByName(name string) int {
 	return -1
 }
 
-// Targets returns the target universe for the given address family.
+// Targets returns the materialized target universe for the given address
+// family. It panics on a lazy world — materializing the full slice is
+// exactly what Config.LazyTargets avoids; use NumTargets, TargetAt or
+// IterTargets instead (stream.go), which work in both modes.
 func (w *World) Targets(v6 bool) []Target {
+	if w.Cfg.LazyTargets {
+		panic("netsim: Targets() on a lazy world; use NumTargets/TargetAt/IterTargets")
+	}
 	if v6 {
 		return w.TargetsV6
 	}
 	return w.TargetsV4
 }
 
-// BGPPrefixes returns the announcement table for the address family.
+// BGPPrefixes returns the materialized announcement table for the address
+// family. Like Targets, it panics on a lazy world; use NumBGPPrefixes and
+// BGPPrefixAt instead.
 func (w *World) BGPPrefixes(v6 bool) []BGPPrefix {
+	if w.Cfg.LazyTargets {
+		panic("netsim: BGPPrefixes() on a lazy world; use NumBGPPrefixes/BGPPrefixAt")
+	}
 	if v6 {
 		return w.BGPPrefixesV6
 	}
@@ -195,12 +219,14 @@ func (w *World) SampleCity(i uint64, salt string) int {
 // against.
 func (w *World) GroundTruthAnycast(v6 bool, day int) map[int]bool {
 	out := make(map[int]bool)
-	for i := range w.Targets(v6) {
-		t := &w.Targets(v6)[i]
-		if t.IsAnycastAt(day) {
-			out[t.ID] = true
+	w.IterTargets(v6, 0, func(batch []Target) bool {
+		for i := range batch {
+			if batch[i].IsAnycastAt(day) {
+				out[batch[i].ID] = true
+			}
 		}
-	}
+		return true
+	})
 	return out
 }
 

@@ -43,11 +43,13 @@ func (p *SimProber) buildIndex(v6 bool) {
 	if p.index != nil && p.v6 == v6 {
 		return
 	}
-	targets := p.World.Targets(v6)
-	p.index = make(map[netip.Addr]int, len(targets))
-	for i := range targets {
-		p.index[targets[i].Addr] = targets[i].ID
-	}
+	p.index = make(map[netip.Addr]int, p.World.NumTargets(v6))
+	p.World.IterTargets(v6, 0, func(batch []netsim.Target) bool {
+		for i := range batch {
+			p.index[batch[i].Addr] = batch[i].ID
+		}
+		return true
+	})
 	p.v6 = v6
 }
 
@@ -62,7 +64,7 @@ func (p *SimProber) ProbeTarget(def wire.MeasurementDef, addr netip.Addr, txTime
 	if !ok {
 		return nil, nil // address not part of the simulated world: silence
 	}
-	tg := &p.World.Targets(def.V6)[id]
+	tg := p.World.TargetAt(def.V6, id)
 	offset := time.Duration(def.OffsetMS) * time.Millisecond
 
 	var replies []Reply

@@ -291,6 +291,13 @@ func DefaultConfig() WorldConfig { return netsim.DefaultConfig() }
 // TestConfig returns a small world configuration for fast runs.
 func TestConfig() WorldConfig { return netsim.TestConfig() }
 
+// PaperScaleConfig returns an Internet-scale world configuration (~1M
+// IPv4 /24s, 150k IPv6 /48s, 80k ASes) with lazy target generation:
+// targets are derived on demand from the seed through a bounded arena,
+// so peak memory is independent of the hitlist size. Census results are
+// byte-identical to an eager world with the same configuration.
+func PaperScaleConfig() WorldConfig { return netsim.PaperScaleConfig() }
+
 // Tangled returns the 32-site TANGLED measurement deployment.
 func Tangled(w *World) (*Deployment, error) {
 	return platform.Tangled(w, netsim.PolicyUnmodified)
