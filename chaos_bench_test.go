@@ -124,6 +124,41 @@ func BenchmarkDailyCensusChaos(b *testing.B) {
 	}
 }
 
+// paperBenchWorld builds the Internet-scale lazy world (~1M IPv4 /24s,
+// 150k IPv6 /48s, 80k ASes) once, on first use, so the test-scale
+// benchmarks never pay for it.
+var (
+	paperBenchOnce sync.Once
+	paperBenchW    *netsim.World
+	paperBenchErr  error
+)
+
+func paperBenchWorld(b *testing.B) *netsim.World {
+	b.Helper()
+	paperBenchOnce.Do(func() {
+		paperBenchW, paperBenchErr = netsim.New(netsim.PaperScaleConfig())
+	})
+	if paperBenchErr != nil {
+		b.Fatal(paperBenchErr)
+	}
+	return paperBenchW
+}
+
+// BenchmarkDailyCensusPaperScale re-baselines the census at Internet
+// scale: one full daily pipeline (anycast-based, feedback, GCD) over the
+// lazy ~1M-prefix world, every stage sharded across all cores. A single
+// iteration is tens of seconds — CI runs it with -benchtime 1x as a
+// wall-clock gauge alongside the test-scale ratio benchmarks; streaming
+// derivation keeps the live heap bounded by the target arena, not the
+// hitlist (see netsim's stream benchmarks for the per-layer numbers).
+func BenchmarkDailyCensusPaperScale(b *testing.B) {
+	w := paperBenchWorld(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runDailyOnce(b, w, nil, 0, nil)
+	}
+}
+
 // BenchmarkLongitudinalWithIncidents times a compressed longitudinal run
 // with the paper's incident calendar re-expressed as a chaos scenario
 // bundle (the Fig 9 path).

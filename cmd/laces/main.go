@@ -10,6 +10,7 @@
 //	laces census  -day 100 [-v6] [-json census.json] [-archive dir] [-progress] [-obs telemetry.json]
 //	laces igreedy -samples samples.csv
 //	laces trace -target 1.1.0.0/24 -from Tokyo
+//	laces trace export -out trace.json cli.jsonl orchestrator.jsonl worker*.jsonl
 //	laces diff day100.json day107.json
 //	laces diff -archive dir -from 100 -to 107
 //	laces dashboard day*.json
@@ -40,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net/http"
 	"net/netip"
 	"os"
@@ -126,7 +128,7 @@ Subcommands:
   census         run a full daily census pipeline locally
   igreedy        analyse latency samples: detect/enumerate/geolocate anycast
   serve          expose the census and live measurements over HTTP
-  trace          traceroute a hitlist prefix from a chosen vantage city
+  trace          traceroute a hitlist prefix; 'trace export' merges -trace files
   diff           compare two census days (JSON files or an archive)
   dashboard      render a text dashboard over census snapshots or an archive
   archive        pack, verify and inspect the delta-encoded census store
@@ -212,28 +214,61 @@ func printResponsibility(r *core.Responsibility) {
 	fmt.Println()
 }
 
+// writeTraceExport dumps a registry's distributed-trace export (spans
+// plus flight-recorder events) as JSONL — the interchange form `laces
+// trace export` merges.
+func writeTraceExport(path string, reg *obs.Registry) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := reg.ExportTrace().WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Println("wrote trace", path)
+	return nil
+}
+
 func runOrchestrator(args []string) error {
 	fs := flag.NewFlagSet("orchestrator", flag.ExitOnError)
 	listen := fs.String("listen", "127.0.0.1:4000", "TCP listen address")
 	budgetSpec := fs.String("budget", "", "probe budget enforced on the streaming path (e.g. 250000)")
 	optOut := fs.String("optout", "", "opt-out registry file enforced on the streaming path")
+	traceOut := fs.String("trace", "", "enable distributed tracing; write the trace export (JSONL) here on exit")
 	fs.Parse(args)
 
 	b, reg, err := loadGovernance(*budgetSpec, *optOut)
 	if err != nil {
 		return err
 	}
-	o, err := orchestrator.New(orchestrator.Config{
+	cfg := orchestrator.Config{
 		Addr:   *listen,
 		Budget: b,
 		OptOut: reg,
 		Logf:   func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
-	})
+	}
+	var traceReg *obs.Registry
+	if *traceOut != "" {
+		traceReg = obs.New()
+		cfg.Obs = traceReg
+		cfg.FlightSink = os.Stderr
+	}
+	o, err := orchestrator.New(cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("orchestrator listening on %s\n", o.Addr())
-	return o.Serve(signalContext())
+	err = o.Serve(signalContext())
+	if traceReg != nil {
+		if werr := writeTraceExport(*traceOut, traceReg); err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 func runWorker(args []string) error {
@@ -243,6 +278,7 @@ func runWorker(args []string) error {
 	seed := fs.Uint64("seed", 1, "world seed (must match across components)")
 	scale := fs.String("scale", "test", "world scale: test or default")
 	sites := fs.Int("sites", 8, "deployment size (must match across components)")
+	traceOut := fs.String("trace", "", "enable distributed tracing; write the trace export (JSONL) here on exit")
 	fs.Parse(args)
 
 	w, err := simWorld(*seed, *scale)
@@ -253,18 +289,31 @@ func runWorker(args []string) error {
 	if err != nil {
 		return err
 	}
-	wk, err := worker.New(worker.Config{
+	cfg := worker.Config{
 		Name:         *name,
 		Orchestrator: *orch,
 		NewProber: func(self int) (worker.Prober, error) {
 			return worker.NewSimProber(w, dep, self%dep.NumSites())
 		},
 		Logf: func(format string, a ...any) { fmt.Fprintf(os.Stderr, format+"\n", a...) },
-	})
+	}
+	var traceReg *obs.Registry
+	if *traceOut != "" {
+		traceReg = obs.New()
+		cfg.Obs = traceReg
+		cfg.FlightSink = os.Stderr
+	}
+	wk, err := worker.New(cfg)
 	if err != nil {
 		return err
 	}
-	return wk.Run(signalContext())
+	err = wk.Run(signalContext())
+	if traceReg != nil {
+		if werr := writeTraceExport(*traceOut, traceReg); err == nil {
+			err = werr
+		}
+	}
+	return err
 }
 
 func runMeasure(args []string) error {
@@ -278,6 +327,7 @@ func runMeasure(args []string) error {
 	rate := fs.Float64("rate", 10000, "targets per second")
 	offsetMS := fs.Int64("offset-ms", 1000, "inter-worker probe offset (ms)")
 	out := fs.String("out", "", "write results CSV to this file")
+	traceOut := fs.String("trace", "", "enable distributed tracing; write the assembled trace (JSONL) here")
 	fs.Parse(args)
 
 	if _, err := packet.ParseProtocol(*proto); err != nil {
@@ -296,6 +346,11 @@ func runMeasure(args []string) error {
 		}
 	}
 	cli := &client.Client{Addr: *orch}
+	var traceReg *obs.Registry
+	if *traceOut != "" {
+		traceReg = obs.New()
+		cli.Obs = traceReg
+	}
 	def := wire.MeasurementDef{
 		ID:       uint16(time.Now().UnixNano() & 0x7fff),
 		Protocol: *proto,
@@ -329,6 +384,13 @@ func runMeasure(args []string) error {
 		}
 		fmt.Println("wrote", *out)
 	}
+	if traceReg != nil {
+		// The Complete frame handed back the assembled cross-process
+		// spans, so this single file holds the whole distributed trace.
+		if err := writeTraceExport(*traceOut, traceReg); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -345,6 +407,7 @@ func runCensus(args []string) error {
 	optOut := fs.String("optout", "", "opt-out registry file (prefixes and AS entries)")
 	progress := fs.Bool("progress", false, "render a live progress line on stderr while the census runs")
 	obsOut := fs.String("obs", "", "write an end-of-run telemetry snapshot (JSON) to this file; render with `laces metrics`")
+	traceOut := fs.String("trace", "", "enable tracing and the flight recorder; write the trace export (JSONL) here")
 	fs.Parse(args)
 
 	b, reg, err := loadGovernance(*budgetSpec, *optOut)
@@ -360,19 +423,25 @@ func runCensus(args []string) error {
 		return err
 	}
 	var telemetry *laces.ObsRegistry
-	if *progress || *obsOut != "" {
+	if *progress || *obsOut != "" || *traceOut != "" {
 		telemetry = laces.NewObsRegistry()
 		tel := &laces.NetsimTelemetry{}
 		w.SetTelemetry(tel)
 		tel.Register(telemetry)
 	}
-	pipe, err := laces.NewPipeline(w, laces.PipelineConfig{
+	cfg := laces.PipelineConfig{
 		Deployment: dep,
 		GCDVPs:     laces.ArkVPs(w),
 		Budget:     b,
 		OptOut:     reg,
 		Obs:        telemetry,
-	})
+	}
+	if *traceOut != "" {
+		telemetry.SetTraceComponent("census")
+		telemetry.EnableFlight("census", 4096)
+		cfg.FlightSink = os.Stderr
+	}
+	pipe, err := laces.NewPipeline(w, cfg)
 	if err != nil {
 		return err
 	}
@@ -381,7 +450,9 @@ func runCensus(args []string) error {
 	if *progress {
 		ps = telemetry.StartProgress(os.Stderr, 200*time.Millisecond)
 	}
+	root := telemetry.StartTrace("census")
 	c, err := pipe.RunDaily(*day, *v6, laces.DayOptions{})
+	root.End()
 	if ps != nil {
 		ps.Stop()
 	}
@@ -450,6 +521,11 @@ func runCensus(args []string) error {
 			return err
 		}
 		fmt.Println("wrote telemetry snapshot", *obsOut)
+	}
+	if *traceOut != "" {
+		if err := writeTraceExport(*traceOut, telemetry); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -1238,6 +1314,9 @@ func runMetrics(args []string) error {
 }
 
 func runTrace(args []string) error {
+	if len(args) > 0 && args[0] == "export" {
+		return runTraceExport(args[1:])
+	}
 	fs := flag.NewFlagSet("trace", flag.ExitOnError)
 	target := fs.String("target", "", "hitlist prefix or address to trace (e.g. 1.2.3.0/24)")
 	from := fs.String("from", "Amsterdam", "vantage city")
@@ -1284,6 +1363,59 @@ func runTrace(args []string) error {
 	}
 	if !p.Reached {
 		fmt.Println("target did not answer (unresponsive to ICMP)")
+	}
+	return nil
+}
+
+// runTraceExport merges per-component trace JSONL files (written by the
+// -trace flags or fetched from GET /debug/trace) into one export:
+// Chrome trace_event JSON by default — loadable in Perfetto and
+// chrome://tracing — or merged JSONL for further processing.
+func runTraceExport(args []string) error {
+	fs := flag.NewFlagSet("trace export", flag.ExitOnError)
+	out := fs.String("out", "", "output file (default stdout)")
+	format := fs.String("format", "chrome", "output format: chrome or jsonl")
+	fs.Parse(args)
+	if fs.NArg() == 0 {
+		return fmt.Errorf("usage: laces trace export [-format chrome|jsonl] [-out file] trace.jsonl [more.jsonl ...]")
+	}
+	var parts []*laces.ObsTraceExport
+	for _, path := range fs.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		ex, err := laces.ReadTraceJSONL(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		parts = append(parts, ex)
+	}
+	merged := laces.MergeTraces(parts...)
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch *format {
+	case "chrome":
+		if err := merged.WriteChrome(w); err != nil {
+			return err
+		}
+	case "jsonl":
+		if err := merged.WriteJSONL(w); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -format %q (chrome, jsonl)", *format)
+	}
+	if *out != "" {
+		fmt.Fprintf(os.Stderr, "wrote %s (%d spans, %d flight events)\n", *out, len(merged.Spans), len(merged.Events))
 	}
 	return nil
 }

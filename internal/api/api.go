@@ -139,6 +139,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	if s.Obs != nil {
 		mux.HandleFunc("GET /metrics", s.handleMetrics)
+		mux.HandleFunc("GET /debug/trace", s.handleTrace)
 	}
 	if s.EnablePprof {
 		registerPprof(mux)

@@ -15,6 +15,7 @@ package api
 // truncating silently.
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/pprof"
 	"time"
@@ -137,6 +138,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("X-Content-Type-Options", "nosniff")
 	w.WriteHeader(http.StatusOK) //laces:allow httporder the Prometheus exposition streams plain text; the JSON funnel does not apply
 	_ = s.Obs.WritePrometheus(w)
+}
+
+// handleTrace serves the registry's distributed-trace export: every
+// collected span (including batches ingested from remote components)
+// plus the flight-recorder snapshot. The default JSONL body is the
+// merge-friendly interchange form (`laces trace export` consumes it);
+// ?format=chrome emits Chrome trace_event JSON loadable in Perfetto.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	ex := s.Obs.ExportTrace()
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		w.WriteHeader(http.StatusOK) //laces:allow httporder the trace export streams NDJSON; the JSON funnel would wrap it
+		_ = ex.WriteJSONL(w)
+	case "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+		w.WriteHeader(http.StatusOK) //laces:allow httporder the Chrome document streams from the exporter; the funnel would re-encode it
+		_ = ex.WriteChrome(w)
+	default:
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid format %q (jsonl, chrome)", format))
+	}
 }
 
 // registerPprof mounts the net/http/pprof handlers under /debug/pprof/.

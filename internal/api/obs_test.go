@@ -158,6 +158,74 @@ func TestMetricsRouteAbsentWithoutRegistry(t *testing.T) {
 	}
 }
 
+// TestDebugTraceEndpoint: /debug/trace serves the registry's trace
+// export in both formats — JSONL by default, Chrome trace_event JSON on
+// ?format=chrome — rejects unknown formats, and is absent from an
+// uninstrumented server's routing table.
+func TestDebugTraceEndpoint(t *testing.T) {
+	ts, reg := newInstrumentedServer(t)
+	reg.SetTraceComponent("api")
+	sp := reg.StartTrace("serve")
+	sp.SetAttr("route", "/v1/census")
+	sp.End()
+	reg.EnableFlight("api", 64).Record("request", "census", nil, 1)
+
+	resp, err := http.Get(ts.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace Content-Type = %q", ct)
+	}
+	ex, err := obs.ReadTraceJSONL(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex.Spans) == 0 || ex.Spans[0].Name != "serve" || len(ex.Events) != 1 {
+		t.Fatalf("trace export spans=%d events=%d", len(ex.Spans), len(ex.Events))
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/trace?format=chrome")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("chrome trace status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome export carries no events")
+	}
+
+	resp, err = http.Get(ts.URL + "/debug/trace?format=bogus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bogus format status = %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(testServer.URL + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("uninstrumented /debug/trace status = %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestPprofOptIn: /debug/pprof/ answers on an EnablePprof server and is
 // absent from the default routing table.
 func TestPprofOptIn(t *testing.T) {

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strconv"
 
+	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/wire"
 )
 
@@ -23,6 +24,11 @@ type Client struct {
 	Addr string
 	// Dialer allows tests to intercept connections; nil uses net.Dialer.
 	Dialer func(ctx context.Context, addr string) (net.Conn, error)
+	// Obs, when set, makes the CLI the origin of a distributed trace: it
+	// mints the trace context carried on the Run frame and ingests the
+	// assembled cross-process spans handed back on Complete, so after
+	// Run the registry holds the full CLI+orchestrator+workers trace.
+	Obs *obs.Registry
 }
 
 // Outcome summarises a finished measurement.
@@ -88,10 +94,20 @@ func (c *Client) Run(ctx context.Context, def wire.MeasurementDef, targets []net
 		}
 	}()
 
-	if err := conn.Write(wire.MsgHello, wire.Hello{Role: "cli", Name: "laces-cli"}); err != nil {
+	// Mint the root of the cross-process trace (no-op on a nil
+	// registry): its context rides the Hello and Run frames, the
+	// orchestrator and workers parent their spans on it, and the
+	// assembled spans come back on Complete.
+	if c.Obs != nil && c.Obs.TraceComponent() == "" {
+		c.Obs.SetTraceComponent("cli")
+	}
+	root := c.Obs.StartTrace("measure")
+	defer root.End() // error paths; the Complete path ends it first
+
+	if err := conn.Write(wire.MsgHello, wire.Hello{Role: "cli", Name: "laces-cli", Trace: root.Context()}); err != nil {
 		return nil, err
 	}
-	req := wire.Run{Def: def}
+	req := wire.Run{Def: def, Trace: root.Context()}
 	for _, a := range targets {
 		req.Targets = append(req.Targets, a.String())
 	}
@@ -122,6 +138,10 @@ func (c *Client) Run(ctx context.Context, def wire.MeasurementDef, targets []net
 			}
 			out.Workers = comp.Workers
 			out.Skipped = comp.Skipped
+			root.SetAttr("results", strconv.FormatInt(comp.Results, 10))
+			root.SetAttr("workers", strconv.Itoa(comp.Workers))
+			root.End()
+			c.Obs.IngestTraceSpans(comp.TraceSpans)
 			return out, nil
 		case wire.MsgError:
 			em, _ := wire.Decode[wire.ErrorMsg](raw)

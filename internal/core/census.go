@@ -14,8 +14,10 @@ package core
 
 import (
 	"fmt"
+	"io"
 	"net/netip"
 	"sort"
+	"strconv"
 	"time"
 
 	"github.com/laces-project/laces/internal/budget"
@@ -226,6 +228,11 @@ type Config struct {
 	// Telemetry never feeds back into measurement: the census document is
 	// byte-identical with Obs set or nil.
 	Obs *obs.Registry
+	// FlightSink receives a flight-recorder JSONL dump when a census run
+	// trips a failure trigger (currently: the governance ledger's
+	// Spent+Skipped==Demanded reconciliation identity breaking). Requires
+	// a flight recorder enabled on Obs; nil disables automatic dumps.
+	FlightSink io.Writer
 }
 
 // DayOptions injects per-day conditions (failure modelling, §7). The
@@ -308,6 +315,18 @@ type Pipeline struct {
 // Ledger exposes the pipeline's probe-budget ledger (nil when the
 // configuration enables no governance) for monitoring and the CLI.
 func (p *Pipeline) Ledger() *budget.Ledger { return p.ledger }
+
+// dumpFlight writes the registry's flight recorder to the configured
+// sink, prefixed with a marker event naming the trigger. No-op without
+// a recorder or a sink.
+func (p *Pipeline) dumpFlight(reason string) {
+	rec := p.Cfg.Obs.Flight()
+	if rec == nil || p.Cfg.FlightSink == nil {
+		return
+	}
+	rec.Record("flight_dump", reason, nil, 0)
+	_ = rec.WriteJSONL(p.Cfg.FlightSink)
+}
 
 // NewPipeline validates the configuration and prepares a pipeline.
 func NewPipeline(w *netsim.World, cfg Config) (*Pipeline, error) {
@@ -403,6 +422,10 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		complaints = eng.ComplaintsOn(day)
 		w.SetImpairer(eng)
 		defer w.SetImpairer(nil)
+		reg.Flight().Record("chaos_active", sc.Name, nil, int64(len(sc.Impairments)),
+			obs.L("day", strconv.Itoa(day)),
+			obs.L("missing_workers", strconv.Itoa(len(missing))),
+			obs.L("complaints", strconv.Itoa(complaints)))
 	}
 
 	// Responsible-probing governance: the admission gate for every
@@ -584,6 +607,22 @@ func (p *Pipeline) RunDaily(day int, v6 bool, dayOpts DayOptions) (*DailyCensus,
 		resp.OptOutTargets = total.OptOutTargets
 		resp.BudgetTargets = total.BudgetTargets
 		census.Responsibility = resp
+		if !total.Reconciles() {
+			// The ledger identity Spent+Skipped==Demanded holds by
+			// construction; breaking it means a stage charged probes
+			// outside the gate. Surface loudly and dump the flight
+			// recorder rather than silently publishing broken accounting.
+			fields := []obs.Label{
+				{Name: "day", Value: strconv.Itoa(day)},
+				{Name: "demanded", Value: strconv.FormatInt(total.Demanded, 10)},
+				{Name: "spent", Value: strconv.FormatInt(total.Spent, 10)},
+				{Name: "skipped", Value: strconv.FormatInt(total.Skipped, 10)},
+			}
+			reg.Event("reconcile_mismatch", fields...)
+			reg.Flight().Record("reconcile_mismatch", "census", nil,
+				total.Demanded-total.Spent-total.Skipped, fields...)
+			p.dumpFlight("reconcile_mismatch")
+		}
 	}
 
 	census.Alerts = p.monitor(census)

@@ -343,11 +343,23 @@ func TestSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(snap.Metrics) != 2 || len(snap.Spans) != 1 || len(snap.Events) != 1 {
+	// Two registered series plus the three always-present self-telemetry
+	// drop counters.
+	if len(snap.Metrics) != 5 || len(snap.Spans) != 1 || len(snap.Events) != 1 {
 		t.Fatalf("snapshot = %d metrics / %d spans / %d events", len(snap.Metrics), len(snap.Spans), len(snap.Events))
 	}
 	if snap.Metrics[0].Value != 3 || snap.Metrics[1].Count != 1 {
 		t.Fatalf("snapshot values wrong: %+v", snap.Metrics)
+	}
+	for i, want := range []string{
+		"laces_obs_spans_dropped_total",
+		"laces_obs_trace_spans_dropped_total",
+		"laces_obs_flight_events_dropped_total",
+	} {
+		m := snap.Metrics[2+i]
+		if m.Name != want || m.Value != 0 {
+			t.Fatalf("drop counter %d = %+v, want %s 0", i, m, want)
+		}
 	}
 }
 

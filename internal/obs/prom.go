@@ -110,7 +110,31 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			bw.WriteByte('\n')
 		}
 	}
+	// Self-telemetry families, appended after the registered series:
+	// drop counts of the bounded span/trace/flight logs. Always exposed
+	// (even at zero) so dashboards can alert on the first drop.
+	writeSelfCounter(bw, "laces_obs_spans_dropped_total",
+		"Completed path spans dropped at the span-log cap.", float64(r.SpansDropped()))
+	writeSelfCounter(bw, "laces_obs_trace_spans_dropped_total",
+		"Distributed-trace spans dropped at the trace-log cap.", float64(r.TraceSpansDropped()))
+	writeSelfCounter(bw, "laces_obs_flight_events_dropped_total",
+		"Flight-recorder events overwritten by ring wrap.", float64(r.FlightDropped()))
 	return bw.Flush()
+}
+
+// writeSelfCounter renders one label-free counter family.
+func writeSelfCounter(bw *bufio.Writer, name, help string, v float64) {
+	bw.WriteString("# HELP ")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(escapeHelp(help))
+	bw.WriteString("\n# TYPE ")
+	bw.WriteString(name)
+	bw.WriteString(" counter\n")
+	bw.WriteString(name)
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
 }
 
 // writeHistogram renders one histogram series: cumulative buckets with

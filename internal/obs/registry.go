@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Label is one name=value metric dimension.
@@ -95,8 +96,10 @@ type Registry struct {
 	index map[string]*family
 
 	spans    spanLog
+	traces   traceLog
 	events   eventLog
 	progress progressState
+	flight   atomic.Pointer[Recorder]
 }
 
 // New returns an empty registry.

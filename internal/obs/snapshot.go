@@ -74,6 +74,14 @@ func (r *Registry) Snapshot() *Snapshot {
 			snap.Metrics = append(snap.Metrics, sm)
 		}
 	}
+	// Self-telemetry: the bounded-log drop counts, always present so a
+	// saturated span log or wrapped flight recorder names itself in the
+	// dump instead of silently truncating.
+	snap.Metrics = append(snap.Metrics,
+		SnapshotMetric{Name: "laces_obs_spans_dropped_total", Type: "counter", Value: float64(r.SpansDropped())},
+		SnapshotMetric{Name: "laces_obs_trace_spans_dropped_total", Type: "counter", Value: float64(r.TraceSpansDropped())},
+		SnapshotMetric{Name: "laces_obs_flight_events_dropped_total", Type: "counter", Value: float64(r.FlightDropped())},
+	)
 	snap.Spans = r.Spans()
 	snap.Events = r.Events()
 	return snap

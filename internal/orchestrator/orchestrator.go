@@ -10,6 +10,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/netip"
 	"sort"
@@ -46,8 +47,17 @@ type Config struct {
 	// Obs receives the orchestrator's telemetry: control-plane frame and
 	// byte counts, connected-worker and in-flight-target gauges, rate
 	// pacer waits, and a worker_disconnect event per mid-run loss. Nil
-	// disables instrumentation.
+	// disables instrumentation. A non-nil registry also enables the
+	// distributed-tracing layer: the orchestrator joins the trace carried
+	// by the CLI's Run frame, propagates it to workers, ingests their
+	// span batches, and runs a flight recorder over frame I/O, budget
+	// denials and worker lifecycle.
 	Obs *obs.Registry
+	// FlightSink receives a flight-recorder JSONL dump on failure
+	// triggers (worker disconnect mid-measurement, MsgError, measurement
+	// error/timeout). Nil disables automatic dumps; the recorder itself
+	// stays queryable through Obs.
+	FlightSink io.Writer
 }
 
 // Orchestrator accepts workers and serves measurement requests.
@@ -67,6 +77,14 @@ type Orchestrator struct {
 	disconnects   *obs.Counter
 	rateWaits     atomic.Int64
 	rateWaitNanos atomic.Int64
+
+	// flight is the orchestrator's flight recorder (nil without Obs);
+	// activeTrace is the trace context of the in-flight measurement, so
+	// frame taps and lifecycle events link to it. flightMu serialises
+	// automatic dumps to FlightSink.
+	flight      *obs.Recorder
+	activeTrace atomic.Pointer[obs.TraceContext]
+	flightMu    sync.Mutex
 
 	mu      sync.Mutex
 	workers map[int]*workerConn
@@ -122,6 +140,8 @@ func New(cfg Config) (*Orchestrator, error) {
 	}
 	o.disconnects = cfg.Obs.Counter("laces_orchestrator_worker_disconnects_total",
 		"Workers lost while connected to this orchestrator.")
+	cfg.Obs.SetTraceComponent("orchestrator")
+	o.flight = cfg.Obs.EnableFlight("orchestrator", 4096)
 	if reg := cfg.Obs; reg != nil {
 		st := o.stats
 		reg.CounterFunc("laces_wire_frames_total",
@@ -186,7 +206,36 @@ func (o *Orchestrator) Serve(ctx context.Context) error {
 		}
 		conn := wire.NewConn(nc)
 		conn.SetStats(o.stats)
+		if o.flight != nil {
+			conn.SetTap(o.frameEvent)
+		}
 		go o.handle(ctx, conn)
+	}
+}
+
+// frameEvent is the per-connection wire tap: every frame the
+// orchestrator moves becomes one flight-recorder event, linked to the
+// active measurement's trace.
+func (o *Orchestrator) frameEvent(sent bool, t wire.MsgType, n int) {
+	kind := "frame_rx"
+	if sent {
+		kind = "frame_tx"
+	}
+	o.flight.Record(kind, t.String(), o.activeTrace.Load(), int64(n))
+}
+
+// dumpFlight writes the flight-recorder contents to the configured sink
+// — the automatic dump fired on failure triggers. The trigger itself is
+// recorded first so the dump names its reason.
+func (o *Orchestrator) dumpFlight(reason string) {
+	if o.flight == nil || o.cfg.FlightSink == nil {
+		return
+	}
+	o.flight.Record("flight_dump", reason, o.activeTrace.Load(), 0)
+	o.flightMu.Lock()
+	defer o.flightMu.Unlock()
+	if err := o.flight.WriteJSONL(o.cfg.FlightSink); err != nil {
+		o.cfg.Logf("orchestrator: flight dump failed: %v", err)
 	}
 }
 
@@ -222,6 +271,7 @@ func (o *Orchestrator) handleWorker(conn *wire.Conn, hello wire.Hello) {
 	total := len(o.workers)
 	o.mu.Unlock()
 	o.cfg.Logf("orchestrator: worker %s connected as site %d (%d online)", hello.Name, idx, total)
+	o.flight.Record("worker_up", hello.Name, hello.Trace, int64(idx))
 
 	if err := conn.Write(wire.MsgHelloAck, wire.HelloAck{Worker: idx, Workers: total}); err != nil {
 		o.dropWorker(idx)
@@ -255,6 +305,25 @@ func (o *Orchestrator) handleWorker(conn *wire.Conn, hello wire.Hello) {
 			if m != nil {
 				m.done <- idx
 			}
+		case wire.MsgTrace:
+			// A worker hands back its completed spans (and the
+			// trace-linked tail of its flight recorder) at the end of its
+			// part of a measurement; ingesting them here is what turns
+			// per-process records into one assembled trace.
+			batch, err := wire.Decode[wire.TraceBatch](raw)
+			if err != nil {
+				continue
+			}
+			o.cfg.Obs.IngestTraceSpans(batch.Spans)
+			o.flight.Ingest(batch.Events)
+		case wire.MsgError:
+			em, err := wire.Decode[wire.ErrorMsg](raw)
+			if err != nil {
+				continue
+			}
+			o.cfg.Logf("orchestrator: worker %d error: %s", idx, em.Text)
+			o.flight.Record("error", em.Text, o.activeTrace.Load(), int64(idx))
+			o.dumpFlight("worker_error")
 		}
 	}
 }
@@ -276,14 +345,36 @@ func (o *Orchestrator) dropWorker(idx int) {
 		name = wc.name
 	}
 	if m != nil {
+		// The full disconnect context an operator needs to judge the
+		// loss: which measurement, the shard range the worker had been
+		// streamed (every worker probes the same [0, streamed) range),
+		// what was still outstanding, and the connection's own
+		// frame/byte counts for tell-apart between "died silently" and
+		// "died mid-stream".
 		outstanding := m.outstanding()
-		o.cfg.Logf("orchestrator: event=worker_disconnect worker=%d name=%q measurement=%d targets_outstanding=%d",
-			idx, name, m.id, outstanding)
-		o.cfg.Obs.Event("worker_disconnect",
+		streamed := m.streamed.Load()
+		fields := []obs.Label{
 			obs.L("worker", strconv.Itoa(idx)),
 			obs.L("name", name),
 			obs.L("measurement", strconv.FormatUint(uint64(m.id), 10)),
-			obs.L("targets_outstanding", strconv.FormatInt(outstanding, 10)))
+			obs.L("shard_base", "0"),
+			obs.L("shard_end", strconv.FormatInt(streamed, 10)),
+			obs.L("targets_total", strconv.FormatInt(m.total.Load(), 10)),
+			obs.L("targets_outstanding", strconv.FormatInt(outstanding, 10)),
+		}
+		if wc != nil {
+			cs := wc.conn.ConnStats()
+			fields = append(fields,
+				obs.L("frames_tx", strconv.FormatInt(cs.FramesTx(), 10)),
+				obs.L("frames_rx", strconv.FormatInt(cs.FramesRx(), 10)),
+				obs.L("bytes_tx", strconv.FormatInt(cs.BytesTx(), 10)),
+				obs.L("bytes_rx", strconv.FormatInt(cs.BytesRx(), 10)))
+		}
+		o.cfg.Logf("orchestrator: event=worker_disconnect worker=%d name=%q measurement=%d shard=[0,%d) targets_outstanding=%d",
+			idx, name, m.id, streamed, outstanding)
+		o.cfg.Obs.Event("worker_disconnect", fields...)
+		o.flight.Record("worker_down", name, o.activeTrace.Load(), int64(idx), fields...)
+		o.dumpFlight("worker_disconnect")
 		select {
 		case m.gone <- idx:
 		default:
@@ -291,6 +382,7 @@ func (o *Orchestrator) dropWorker(idx int) {
 		return
 	}
 	o.cfg.Logf("orchestrator: worker %d disconnected", idx)
+	o.flight.Record("worker_down", name, nil, int64(idx))
 }
 
 // handleCLI serves one measurement request.
@@ -305,6 +397,8 @@ func (o *Orchestrator) handleCLI(ctx context.Context, conn *wire.Conn) {
 		return
 	}
 	if err := o.runMeasurement(ctx, conn, req); err != nil {
+		o.flight.Record("error", err.Error(), o.activeTrace.Load(), 0)
+		o.dumpFlight("measurement_error")
 		_ = conn.Write(wire.MsgError, wire.ErrorMsg{Text: err.Error()})
 	}
 }
@@ -347,10 +441,26 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 	o.cfg.Logf("orchestrator: measurement %d over %d targets with %d workers",
 		req.Def.ID, len(req.Targets), len(participants))
 
-	// Instruct all workers that a measurement is starting (§4.2.2).
+	// Join the trace the CLI minted (or mint a fresh one when the CLI
+	// predates tracing): everything the orchestrator and its workers do
+	// for this measurement hangs off mspan. The context stays published
+	// in activeTrace so frame taps and failure dumps link to it; it is
+	// deliberately not cleared at teardown — an error dump fired just
+	// after still names the measurement it belongs to.
+	mspan := o.cfg.Obs.JoinTrace(req.Trace, "orchestrator/measurement")
+	mspan.SetAttr("measurement", strconv.FormatUint(uint64(req.Def.ID), 10))
+	mspan.SetAttr("targets", strconv.Itoa(len(req.Targets)))
+	o.activeTrace.Store(mspan.Context())
+	defer mspan.End() // error paths; the success path ends it first
+
+	// Instruct all workers that a measurement is starting (§4.2.2). The
+	// definition carries the measurement span's context, so each worker
+	// parents its own spans on it.
+	def := req.Def
+	def.Trace = mspan.Context()
 	alive := make(map[int]*workerConn, len(participants))
 	for _, wc := range participants {
-		if err := wc.conn.Write(wire.MsgStart, req.Def); err != nil {
+		if err := wc.conn.Write(wire.MsgStart, def); err != nil {
 			o.dropWorker(wc.idx)
 			continue
 		}
@@ -359,6 +469,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 	if len(alive) == 0 {
 		return errors.New("orchestrator: all workers failed at start")
 	}
+	mspan.SetAttr("workers", strconv.Itoa(len(alive)))
 
 	// Responsible-probing governance on the streaming path: targets in
 	// an opted-out prefix, or beyond the probe budget, are withheld from
@@ -368,6 +479,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 	// Complete frame, never silently dropped.
 	var skipped int64
 	if o.ledger != nil {
+		admitSpan := mspan.Child("admit")
 		gate := o.ledger.Gate(0)
 		perTarget := int64(len(alive))
 		kept := make([]string, 0, len(req.Targets))
@@ -381,6 +493,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 				kept = append(kept, ts)
 			} else {
 				skipped++
+				o.flight.Record("budget_denied", ts, o.activeTrace.Load(), perTarget)
 			}
 		}
 		if skipped > 0 {
@@ -388,6 +501,9 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 		}
 		req.Targets = kept
 		m.total.Store(int64(len(kept)))
+		admitSpan.SetAttr("kept", strconv.Itoa(len(kept)))
+		admitSpan.SetAttr("skipped", strconv.FormatInt(skipped, 10))
+		admitSpan.End()
 	}
 
 	// Stream targets to every worker at the CLI-defined rate. Workers
@@ -403,6 +519,16 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 		o.rateWaitNanos.Add(total.Nanoseconds())
 	}()
 	go func() {
+		// The stream span is closed before the EndTargets frames go out:
+		// workers answer EndTargets with WorkerDone, and the Complete
+		// frame's span collection must find the stream span recorded.
+		streamSpan := mspan.Child("stream")
+		endStream := func() {
+			streamSpan.SetAttr("streamed", strconv.FormatInt(m.streamed.Load(), 10))
+			streamSpan.End()
+		}
+		defer endStream() // early-exit paths; the normal path ends it first
+		tc := mspan.Context()
 		for base := 0; base < len(req.Targets); base += o.cfg.BatchSize {
 			end := base + o.cfg.BatchSize
 			if end > len(req.Targets) {
@@ -413,7 +539,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 					return
 				}
 			}
-			batch := wire.Targets{Base: base, Addrs: req.Targets[base:end]}
+			batch := wire.Targets{Base: base, Addrs: req.Targets[base:end], Trace: tc}
 			for idx, wc := range alive {
 				//laces:allow maporder each iteration writes to a different worker's connection; there is no shared byte stream to reorder
 				if err := wc.conn.Write(wire.MsgTargets, batch); err != nil {
@@ -422,6 +548,7 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 			}
 			m.streamed.Store(int64(end))
 		}
+		endStream()
 		for idx, wc := range alive {
 			//laces:allow maporder each iteration writes to a different worker's connection; there is no shared byte stream to reorder
 			if err := wc.conn.Write(wire.MsgEndTargets, struct{}{}); err != nil {
@@ -438,6 +565,8 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 		pending[idx] = true
 	}
 	var forwarded int64
+	aggSpan := mspan.Child("aggregate")
+	defer aggSpan.End() // error paths; the success path ends it first
 	timeout := time.NewTimer(5 * time.Minute)
 	defer timeout.Stop()
 	for len(pending) > 0 {
@@ -466,7 +595,21 @@ func (o *Orchestrator) runMeasurement(ctx context.Context, cli *wire.Conn, req w
 				return err
 			}
 		default:
-			return cli.Write(wire.MsgComplete, wire.Complete{Results: forwarded, Workers: len(alive), Skipped: skipped})
+			// Close out the orchestrator's spans, then hand the CLI the
+			// assembled trace: the orchestrator's own spans plus every
+			// worker batch ingested over MsgTrace, filtered to this
+			// measurement's trace ID.
+			aggSpan.SetAttr("forwarded", strconv.FormatInt(forwarded, 10))
+			aggSpan.End()
+			mspan.SetAttr("results", strconv.FormatInt(forwarded, 10))
+			mspan.SetAttr("skipped", strconv.FormatInt(skipped, 10))
+			mspan.End()
+			complete := wire.Complete{Results: forwarded, Workers: len(alive), Skipped: skipped}
+			if tc := mspan.Context(); tc != nil {
+				complete.Trace = tc
+				complete.TraceSpans = o.cfg.Obs.TraceSpansFor(tc.TraceID)
+			}
+			return cli.Write(wire.MsgComplete, complete)
 		}
 	}
 }

@@ -19,6 +19,8 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+
+	"github.com/laces-project/laces/internal/obs"
 )
 
 // MsgType identifies a frame's payload.
@@ -36,6 +38,7 @@ const (
 	MsgComplete                      // Orchestrator → CLI: measurement complete
 	MsgError                         // any → any: fatal error
 	MsgRun                           // CLI → Orchestrator: run a measurement
+	MsgTrace                         // Worker → Orchestrator: completed trace spans
 )
 
 // String names the message type.
@@ -61,6 +64,8 @@ func (t MsgType) String() string {
 		return "error"
 	case MsgRun:
 		return "run"
+	case MsgTrace:
+		return "trace"
 	default:
 		return fmt.Sprintf("MsgType(%d)", uint8(t))
 	}
@@ -71,9 +76,15 @@ func (t MsgType) String() string {
 const MaxFrame = 16 << 20
 
 // Hello introduces a connection to the Orchestrator.
+//
+// Trace carries the sender's distributed-trace context when tracing is
+// on. The field is a pointer on every frame that carries it: omitempty
+// does not elide zero struct values, so a pointer is what keeps frames
+// from pre-tracing peers byte-compatible.
 type Hello struct {
-	Role string `json:"role"` // "worker" or "cli"
-	Name string `json:"name"`
+	Role  string            `json:"role"` // "worker" or "cli"
+	Name  string            `json:"name"`
+	Trace *obs.TraceContext `json:"trace,omitempty"`
 }
 
 // HelloAck assigns a worker its site index.
@@ -91,6 +102,9 @@ type MeasurementDef struct {
 	OffsetMS int64   `json:"offset_ms"` // inter-worker probe spacing
 	Rate     float64 `json:"rate"`      // hitlist targets per second
 	Zone     string  `json:"zone,omitempty"`
+	// Trace is the orchestrator's measurement-span context; workers
+	// parent their measure spans on it.
+	Trace *obs.TraceContext `json:"trace,omitempty"`
 }
 
 // Run asks the Orchestrator to execute a measurement over the given
@@ -98,22 +112,27 @@ type MeasurementDef struct {
 type Run struct {
 	Def     MeasurementDef `json:"def"`
 	Targets []string       `json:"targets"`
+	// Trace is the CLI's root-span context — the origin of the
+	// cross-process trace the orchestrator and workers join.
+	Trace *obs.TraceContext `json:"trace,omitempty"`
 }
 
 // Targets streams a hitlist batch to a Worker.
 type Targets struct {
-	Base  int      `json:"base"` // index of the first address in the batch
-	Addrs []string `json:"addrs"`
+	Base  int               `json:"base"` // index of the first address in the batch
+	Addrs []string          `json:"addrs"`
+	Trace *obs.TraceContext `json:"trace,omitempty"`
 }
 
 // Result is one captured reply, matched to the measurement via the echoed
 // probe identity (§4.2.2).
 type Result struct {
-	Measurement uint16 `json:"m"`
-	Target      string `json:"t"`
-	TxWorker    int    `json:"tx"`
-	RxWorker    int    `json:"rx"`
-	RTTMicros   int64  `json:"rtt_us"`
+	Measurement uint16            `json:"m"`
+	Target      string            `json:"t"`
+	TxWorker    int               `json:"tx"`
+	RxWorker    int               `json:"rx"`
+	RTTMicros   int64             `json:"rtt_us"`
+	Trace       *obs.TraceContext `json:"trace,omitempty"`
 }
 
 // WorkerDone reports a Worker finished its probe stream.
@@ -129,7 +148,22 @@ type Complete struct {
 	// Skipped counts targets the orchestrator's responsible-probing
 	// ledger refused to stream (opt-out or budget); omitted when no
 	// governance is configured, keeping old CLIs compatible.
-	Skipped int64 `json:"skipped,omitempty"`
+	Skipped int64             `json:"skipped,omitempty"`
+	Trace   *obs.TraceContext `json:"trace,omitempty"`
+	// TraceSpans is the assembled cross-process trace: the
+	// orchestrator's own spans plus every worker batch it ingested,
+	// handed back so the CLI holds the complete record.
+	TraceSpans []obs.TraceSpan `json:"trace_spans,omitempty"`
+}
+
+// TraceBatch carries a component's completed spans (and the
+// trace-linked tail of its flight recorder) back to the orchestrator at
+// the end of its part of a measurement.
+type TraceBatch struct {
+	Component string            `json:"component"`
+	Worker    int               `json:"worker"`
+	Spans     []obs.TraceSpan   `json:"spans,omitempty"`
+	Events    []obs.FlightEvent `json:"events,omitempty"`
 }
 
 // ErrorMsg carries a fatal error.
@@ -178,6 +212,11 @@ func (s *Stats) BytesRx() int64 {
 	return s.bytesRx.Load()
 }
 
+// Tap observes every frame a Conn moves: direction, type and size in
+// bytes (header included). Taps feed the flight recorder's frame-I/O
+// events; they run on the frame path and must not block.
+type Tap func(sent bool, t MsgType, bytes int)
+
 // Conn wraps a net.Conn with framed, concurrency-safe writes and buffered
 // reads.
 type Conn struct {
@@ -185,11 +224,22 @@ type Conn struct {
 	br    *bufio.Reader
 	mu    sync.Mutex // serialises writers
 	stats *Stats
+	local Stats // always-on per-conn accounting
+	tap   Tap
 }
 
 // SetStats attaches shared traffic accounting (nil detaches). Attach
 // before the first frame moves: the counters are not retroactive.
+// Per-conn accounting (ConnStats) stays on regardless.
 func (c *Conn) SetStats(s *Stats) { c.stats = s }
+
+// SetTap installs a frame observer (nil uninstalls). Install before the
+// first frame moves.
+func (c *Conn) SetTap(t Tap) { c.tap = t }
+
+// ConnStats returns this connection's own frame/byte counters — the
+// per-worker attribution the orchestrator reports on disconnect.
+func (c *Conn) ConnStats() *Stats { return &c.local }
 
 // NewConn wraps a transport connection.
 func NewConn(c net.Conn) *Conn {
@@ -222,9 +272,15 @@ func (c *Conn) Write(t MsgType, v any) error {
 	if _, err := c.c.Write(payload); err != nil {
 		return fmt.Errorf("wire: writing %v payload: %w", t, err)
 	}
+	n := len(hdr) + len(payload)
+	c.local.framesTx.Add(1)
+	c.local.bytesTx.Add(int64(n))
 	if s := c.stats; s != nil {
 		s.framesTx.Add(1)
-		s.bytesTx.Add(int64(len(hdr) + len(payload)))
+		s.bytesTx.Add(int64(n))
+	}
+	if tap := c.tap; tap != nil {
+		tap(true, t, n)
 	}
 	return nil
 }
@@ -244,9 +300,14 @@ func (c *Conn) Read() (MsgType, json.RawMessage, error) {
 	if _, err := io.ReadFull(c.br, payload); err != nil {
 		return 0, nil, fmt.Errorf("wire: reading payload: %w", err)
 	}
+	c.local.framesRx.Add(1)
+	c.local.bytesRx.Add(int64(len(hdr)) + int64(n))
 	if s := c.stats; s != nil {
 		s.framesRx.Add(1)
 		s.bytesRx.Add(int64(len(hdr)) + int64(n))
+	}
+	if tap := c.tap; tap != nil {
+		tap(false, MsgType(hdr[4]), len(hdr)+int(n))
 	}
 	return MsgType(hdr[4]), payload, nil
 }

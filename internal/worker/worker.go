@@ -11,8 +11,12 @@ package worker
 import (
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/netip"
+	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/laces-project/laces/internal/obs"
@@ -60,8 +64,16 @@ type Config struct {
 	// with the surviving workers while this one backs off and reconnects).
 	FailAfterTargets int64
 	// Obs receives the worker's telemetry: control-plane frame/byte
-	// counts and targets probed. Nil disables instrumentation.
+	// counts and targets probed. Nil disables instrumentation. A non-nil
+	// registry also enables tracing: the worker joins the measurement
+	// trace carried by MsgStart, emits a worker/measure span per
+	// measurement, hands its spans back over MsgTrace, and runs a flight
+	// recorder over frame I/O and lifecycle events.
 	Obs *obs.Registry
+	// FlightSink receives a flight-recorder JSONL dump on failure
+	// triggers (injected disconnect, probe error, orchestrator MsgError).
+	// Nil disables automatic dumps.
+	FlightSink io.Writer
 }
 
 // Worker runs the worker loop.
@@ -72,6 +84,13 @@ type Worker struct {
 	// counts targets this worker transmitted probes for.
 	stats  *wire.Stats
 	probed *obs.Counter
+
+	// flight is the worker's flight recorder (nil without Obs);
+	// activeTrace holds the in-flight measurement's trace context so
+	// frame taps and dumps link to it. flightMu serialises dumps.
+	flight      *obs.Recorder
+	activeTrace atomic.Pointer[obs.TraceContext]
+	flightMu    sync.Mutex
 }
 
 // New validates the configuration and returns a Worker.
@@ -100,6 +119,12 @@ func New(cfg Config) (*Worker, error) {
 	w := &Worker{cfg: cfg, stats: &wire.Stats{}}
 	w.probed = cfg.Obs.Counter("laces_worker_targets_probed_total",
 		"Targets this worker transmitted probes for.")
+	component := "worker"
+	if cfg.Name != "" {
+		component = "worker-" + cfg.Name
+	}
+	cfg.Obs.SetTraceComponent(component)
+	w.flight = cfg.Obs.EnableFlight(component, 1024)
 	if reg := cfg.Obs; reg != nil {
 		st := w.stats
 		reg.CounterFunc("laces_wire_frames_total",
@@ -143,6 +168,30 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// frameEvent is the wire tap: every frame this worker moves becomes one
+// flight-recorder event linked to the active measurement's trace.
+func (w *Worker) frameEvent(sent bool, t wire.MsgType, n int) {
+	kind := "frame_rx"
+	if sent {
+		kind = "frame_tx"
+	}
+	w.flight.Record(kind, t.String(), w.activeTrace.Load(), int64(n))
+}
+
+// dumpFlight writes the flight recorder to the configured sink on a
+// failure trigger, recording the trigger first so the dump names it.
+func (w *Worker) dumpFlight(reason string) {
+	if w.flight == nil || w.cfg.FlightSink == nil {
+		return
+	}
+	w.flight.Record("flight_dump", reason, w.activeTrace.Load(), 0)
+	w.flightMu.Lock()
+	defer w.flightMu.Unlock()
+	if err := w.flight.WriteJSONL(w.cfg.FlightSink); err != nil {
+		w.cfg.Logf("worker %s: flight dump failed: %v", w.cfg.Name, err)
+	}
+}
+
 // session runs one connection lifecycle: hello, then serve frames.
 func (w *Worker) session(ctx context.Context) error {
 	nc, err := w.cfg.Dialer(ctx, w.cfg.Orchestrator)
@@ -151,6 +200,9 @@ func (w *Worker) session(ctx context.Context) error {
 	}
 	conn := wire.NewConn(nc)
 	conn.SetStats(w.stats)
+	if w.flight != nil {
+		conn.SetTap(w.frameEvent)
+	}
 	defer conn.Close()
 
 	// Tear the connection down when ctx ends so blocking reads unblock.
@@ -186,6 +238,11 @@ func (w *Worker) session(ctx context.Context) error {
 
 	var def wire.MeasurementDef
 	var sent int64
+	// mspan is the worker's span for the in-flight measurement, parented
+	// on the orchestrator's context from MsgStart; resTrace is its
+	// propagatable identity, stamped onto every Result frame.
+	var mspan *obs.ActiveSpan
+	var resTrace *obs.TraceContext
 	for {
 		typ, raw, err := conn.Read()
 		if err != nil {
@@ -198,6 +255,11 @@ func (w *Worker) session(ctx context.Context) error {
 				return err
 			}
 			sent = 0
+			mspan = w.cfg.Obs.JoinTrace(def.Trace, "worker/measure")
+			mspan.SetAttr("worker", strconv.Itoa(ack.Worker))
+			mspan.SetAttr("measurement", strconv.FormatUint(uint64(def.ID), 10))
+			resTrace = mspan.Context()
+			w.activeTrace.Store(resTrace)
 		case wire.MsgTargets:
 			batch, err := wire.Decode[wire.Targets](raw)
 			if err != nil {
@@ -216,6 +278,15 @@ func (w *Worker) session(ctx context.Context) error {
 				sent++
 				w.probed.Inc()
 				if w.cfg.FailAfterTargets > 0 && sent >= w.cfg.FailAfterTargets {
+					// The injected death mimics a real crash: the span is
+					// closed into the *local* registry (marked aborted) but
+					// never handed to the orchestrator — exactly what a
+					// killed process would leave behind.
+					w.flight.Record("chaos_kill", "injected_disconnect", resTrace, sent)
+					mspan.SetAttr("sent", strconv.FormatInt(sent, 10))
+					mspan.SetAttr("aborted", "true")
+					mspan.End()
+					w.dumpFlight("injected_disconnect")
 					return fmt.Errorf("worker: injected disconnect after %d targets", sent)
 				}
 				for _, r := range replies {
@@ -225,6 +296,7 @@ func (w *Worker) session(ctx context.Context) error {
 						TxWorker:    r.TxWorker,
 						RxWorker:    ack.Worker,
 						RTTMicros:   r.RTT.Microseconds(),
+						Trace:       resTrace,
 					}
 					if err := conn.Write(wire.MsgResult, res); err != nil {
 						return err
@@ -232,11 +304,36 @@ func (w *Worker) session(ctx context.Context) error {
 				}
 			}
 		case wire.MsgEndTargets:
+			// Close the measurement span and hand the orchestrator this
+			// worker's part of the trace before reporting done, so the
+			// assembled trace is complete by the time the quorum empties.
+			if mspan != nil {
+				mspan.SetAttr("sent", strconv.FormatInt(sent, 10))
+				mspan.End()
+				if tc := resTrace; tc != nil {
+					batch := wire.TraceBatch{
+						Component: w.cfg.Obs.TraceComponent(),
+						Worker:    ack.Worker,
+						Spans:     w.cfg.Obs.TraceSpansFor(tc.TraceID),
+					}
+					for _, ev := range w.flight.Snapshot() {
+						if ev.TraceID == tc.TraceID {
+							batch.Events = append(batch.Events, ev)
+						}
+					}
+					if err := conn.Write(wire.MsgTrace, batch); err != nil {
+						return err
+					}
+				}
+				mspan = nil
+			}
 			if err := conn.Write(wire.MsgWorkerDone, wire.WorkerDone{Worker: ack.Worker, Sent: sent}); err != nil {
 				return err
 			}
 		case wire.MsgError:
 			em, _ := wire.Decode[wire.ErrorMsg](raw)
+			w.flight.Record("error", em.Text, w.activeTrace.Load(), 0)
+			w.dumpFlight("orchestrator_error")
 			return fmt.Errorf("worker: orchestrator error: %s", em.Text)
 		default:
 			return fmt.Errorf("worker: unexpected frame %v", typ)

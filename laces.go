@@ -478,3 +478,34 @@ func NewObsRegistry() *ObsRegistry { return obs.New() }
 
 // ReadObsSnapshot parses a snapshot written by ObsSnapshot.WriteJSON.
 func ReadObsSnapshot(r io.Reader) (*ObsSnapshot, error) { return obs.ReadSnapshot(r) }
+
+// Distributed-tracing and flight-recorder types: trace contexts minted
+// by the CLI propagate through every wire frame, the orchestrator and
+// workers parent their spans on them, and the assembled cross-process
+// trace exports as JSONL or Chrome trace_event JSON (Perfetto-loadable).
+// Each component additionally keeps a bounded lock-free ring of
+// structured events — the flight recorder — dumped automatically on
+// failure triggers. See the README's "Distributed tracing & flight
+// recorder" section.
+type (
+	// ObsTraceContext is the propagatable trace identity carried on wire
+	// frames (trace ID plus parent span ID).
+	ObsTraceContext = obs.TraceContext
+	// ObsTraceSpan is one finished span of a distributed trace.
+	ObsTraceSpan = obs.TraceSpan
+	// ObsTraceExport bundles a registry's spans and flight events for
+	// interchange; WriteJSONL and WriteChrome are its serializations.
+	ObsTraceExport = obs.TraceExport
+	// ObsFlightEvent is one flight-recorder entry.
+	ObsFlightEvent = obs.FlightEvent
+	// ObsFlightRecorder is a component's bounded lock-free event ring.
+	ObsFlightRecorder = obs.Recorder
+)
+
+// ReadTraceJSONL parses a trace export written by ObsTraceExport.WriteJSONL
+// (the `-trace` flag and GET /debug/trace interchange format).
+func ReadTraceJSONL(r io.Reader) (*ObsTraceExport, error) { return obs.ReadTraceJSONL(r) }
+
+// MergeTraces combines per-component trace exports into one (what
+// `laces trace export` does with the files of a distributed run).
+func MergeTraces(parts ...*ObsTraceExport) *ObsTraceExport { return obs.MergeTraces(parts...) }

@@ -43,9 +43,10 @@ func obsCensusBytes(t *testing.T, w *netsim.World, sc *chaos.Scenario, paralleli
 
 // TestObsDoesNotPerturbCensus is the telemetry determinism guard:
 // the published census document must be byte-identical with telemetry
-// enabled (registry plus netsim probe accounting) and disabled, across
-// seeds, chaos scenarios, and sequential vs fully parallel stages.
-// Observation must never feed back into measurement.
+// enabled (registry plus netsim probe accounting, and again with
+// distributed tracing plus the flight recorder on top) and disabled,
+// across seeds, chaos scenarios, and sequential vs fully parallel
+// stages. Observation must never feed back into measurement.
 func TestObsDoesNotPerturbCensus(t *testing.T) {
 	lossy, ok := chaos.Lookup(chaos.ScenarioLossyTransit)
 	if !ok {
@@ -86,6 +87,33 @@ func TestObsDoesNotPerturbCensus(t *testing.T) {
 				}
 				if reg.NumSeries() == 0 {
 					t.Errorf("seed %#x %s parallelism=%d: instrumented run registered no series",
+						seed, tc.name, parallelism)
+				}
+
+				// Third variant: distributed tracing and the flight
+				// recorder on top of full telemetry. Spans and flight
+				// events are observation too — same byte-identity bar.
+				traced := obs.New()
+				traced.SetTraceComponent("census")
+				traced.EnableFlight("census", 1024)
+				tel = &netsim.Telemetry{}
+				w.SetTelemetry(tel)
+				tel.Register(traced)
+				root := traced.StartTrace("census")
+				withTrace := obsCensusBytes(t, w, tc.sc, parallelism, traced)
+				root.End()
+				w.SetTelemetry(nil)
+
+				if !bytes.Equal(bare, withTrace) {
+					t.Errorf("seed %#x %s parallelism=%d: census bytes differ with tracing on (%d vs %d bytes)",
+						seed, tc.name, parallelism, len(bare), len(withTrace))
+				}
+				if len(traced.TraceSpans()) == 0 {
+					t.Errorf("seed %#x %s parallelism=%d: traced run recorded no spans",
+						seed, tc.name, parallelism)
+				}
+				if traced.Flight().Total() == 0 {
+					t.Errorf("seed %#x %s parallelism=%d: chaos run recorded no flight events",
 						seed, tc.name, parallelism)
 				}
 			}
