@@ -1,0 +1,235 @@
+// Command bench-summary merges the BENCH_*.json artifacts CI's bench
+// jobs emit — `go test -json` benchmark event streams and loadgen
+// reports (schema laces-loadgen/v1) — into one machine-readable
+// BENCH_summary.json plus a markdown table on stdout, which CI appends
+// to the step summary. Stdlib only; unknown or malformed inputs are
+// reported and skipped rather than failing the merge, so one broken
+// artifact cannot hide every other number.
+//
+// Usage:
+//
+//	bench-summary [-out BENCH_summary.json] BENCH_*.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schema versions the merged document.
+const Schema = "laces-bench-summary/v1"
+
+// Bench is one benchmark result parsed from a `go test -json` stream.
+type Bench struct {
+	Source  string             `json:"source"` // artifact file stem, e.g. "BENCH_query"
+	Name    string             `json:"name"`
+	NsPerOp float64            `json:"ns_per_op"`
+	Metrics map[string]float64 `json:"metrics,omitempty"` // B/op, allocs/op, MB/s, custom units
+}
+
+// Loadgen is the subset of a laces-loadgen/v1 report the summary keeps.
+type Loadgen struct {
+	Source          string  `json:"source"`
+	Target          string  `json:"target"`
+	Requests        int64   `json:"requests"`
+	Errors          int64   `json:"errors"`
+	ReqPerSec       float64 `json:"req_per_sec"`
+	P50Ms           float64 `json:"p50_ms"`
+	P95Ms           float64 `json:"p95_ms"`
+	P99Ms           float64 `json:"p99_ms"`
+	NotModifiedRate float64 `json:"not_modified_rate"`
+	AllocPerOp      float64 `json:"alloc_bytes_per_op"`
+	DeterminismOK   bool    `json:"determinism_ok"`
+}
+
+// Summary is the whole BENCH_summary.json document.
+type Summary struct {
+	Schema     string    `json:"schema"`
+	Benchmarks []Bench   `json:"benchmarks"`
+	Loadgen    []Loadgen `json:"loadgen,omitempty"`
+	Skipped    []string  `json:"skipped,omitempty"`
+}
+
+func main() {
+	out := flag.String("out", "", "write the merged JSON summary here")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: bench-summary [-out BENCH_summary.json] BENCH_*.json")
+		os.Exit(2)
+	}
+	sum := &Summary{Schema: Schema}
+	for _, path := range flag.Args() {
+		if err := mergeFile(sum, path); err != nil {
+			sum.Skipped = append(sum.Skipped, fmt.Sprintf("%s: %v", path, err))
+			fmt.Fprintf(os.Stderr, "bench-summary: skipping %s: %v\n", path, err)
+		}
+	}
+	sort.Slice(sum.Benchmarks, func(i, j int) bool {
+		a, b := sum.Benchmarks[i], sum.Benchmarks[j]
+		if a.Source != b.Source {
+			return a.Source < b.Source
+		}
+		return a.Name < b.Name
+	})
+	sort.Slice(sum.Loadgen, func(i, j int) bool { return sum.Loadgen[i].Source < sum.Loadgen[j].Source })
+	if *out != "" {
+		b, err := json.MarshalIndent(sum, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bench-summary:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "bench-summary:", err)
+			os.Exit(1)
+		}
+	}
+	writeMarkdown(os.Stdout, sum)
+}
+
+// mergeFile classifies one artifact by shape and folds it in.
+func mergeFile(sum *Summary, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if len(data) == 0 {
+		return fmt.Errorf("empty file")
+	}
+	source := strings.TrimSuffix(filepath.Base(path), ".json")
+	// A loadgen report is one JSON object with its schema field; a
+	// `go test -json` stream is NDJSON whose first object has no schema.
+	var probe struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &probe); err == nil && strings.HasPrefix(probe.Schema, "laces-loadgen/") {
+		var lg Loadgen
+		if err := json.Unmarshal(data, &lg); err != nil {
+			return err
+		}
+		lg.Source = source
+		sum.Loadgen = append(sum.Loadgen, lg)
+		return nil
+	}
+	benches, err := parseTestJSON(source, data)
+	if err != nil {
+		return err
+	}
+	if len(benches) == 0 {
+		return fmt.Errorf("no benchmark results found")
+	}
+	sum.Benchmarks = append(sum.Benchmarks, benches...)
+	return nil
+}
+
+// parseTestJSON extracts benchmark result lines from a `go test -json`
+// event stream.
+func parseTestJSON(source string, data []byte) ([]Bench, error) {
+	var out []Bench
+	sc := bufio.NewScanner(strings.NewReader(string(data)))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev struct {
+			Action string `json:"Action"`
+			Test   string `json:"Test"`
+			Output string `json:"Output"`
+		}
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("not a go test -json stream: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		if b, ok := parseBenchLine(source, ev.Test, ev.Output); ok {
+			out = append(out, b)
+		}
+	}
+	return out, sc.Err()
+}
+
+// parseBenchLine parses one benchmark result line. The stream carries
+// two shapes: the whole textual line `BenchmarkName-8  1  123 ns/op ...`
+// in one output event, or the name in the event's Test field with the
+// output holding just `1  123 ns/op ...`.
+func parseBenchLine(source, test, line string) (Bench, bool) {
+	if !strings.Contains(line, "ns/op") {
+		return Bench{}, false
+	}
+	f := strings.Fields(line)
+	name := test
+	if len(f) > 0 && strings.HasPrefix(f[0], "Benchmark") {
+		name, f = f[0], f[1:]
+	}
+	if name == "" || len(f) < 3 {
+		return Bench{}, false
+	}
+	b := Bench{Source: source, Name: name, Metrics: map[string]float64{}}
+	// f[0] is the iteration count; the rest alternates value unit.
+	for i := 1; i+1 < len(f); i += 2 {
+		v, err := strconv.ParseFloat(f[i], 64)
+		if err != nil {
+			return Bench{}, false
+		}
+		if f[i+1] == "ns/op" {
+			b.NsPerOp = v
+		} else {
+			b.Metrics[f[i+1]] = v
+		}
+	}
+	if b.NsPerOp == 0 && len(b.Metrics) == 0 {
+		return Bench{}, false
+	}
+	return b, true
+}
+
+// writeMarkdown renders the summary tables.
+func writeMarkdown(w *os.File, sum *Summary) {
+	if len(sum.Loadgen) > 0 {
+		fmt.Fprintln(w, "### Serving tier (loadgen)")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| source | target | req/s | p50 ms | p95 ms | p99 ms | 304 rate | alloc B/op | errors | deterministic |")
+		fmt.Fprintln(w, "|---|---|---:|---:|---:|---:|---:|---:|---:|---|")
+		for _, lg := range sum.Loadgen {
+			fmt.Fprintf(w, "| %s | %s | %.0f | %.3f | %.3f | %.3f | %.2f | %.0f | %d | %v |\n",
+				lg.Source, lg.Target, lg.ReqPerSec, lg.P50Ms, lg.P95Ms, lg.P99Ms,
+				lg.NotModifiedRate, lg.AllocPerOp, lg.Errors, lg.DeterminismOK)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(sum.Benchmarks) > 0 {
+		fmt.Fprintln(w, "### Benchmarks")
+		fmt.Fprintln(w)
+		fmt.Fprintln(w, "| source | benchmark | ns/op | B/op | allocs/op |")
+		fmt.Fprintln(w, "|---|---|---:|---:|---:|")
+		for _, b := range sum.Benchmarks {
+			fmt.Fprintf(w, "| %s | %s | %.0f | %s | %s |\n",
+				b.Source, b.Name, b.NsPerOp, metric(b, "B/op"), metric(b, "allocs/op"))
+		}
+		fmt.Fprintln(w)
+	}
+	if len(sum.Skipped) > 0 {
+		fmt.Fprintln(w, "### Skipped inputs")
+		fmt.Fprintln(w)
+		for _, s := range sum.Skipped {
+			fmt.Fprintf(w, "- %s\n", s)
+		}
+	}
+}
+
+func metric(b Bench, unit string) string {
+	v, ok := b.Metrics[unit]
+	if !ok {
+		return "–"
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
+}

@@ -29,6 +29,7 @@
 //	laces replay -archive dir -budget 250000
 //	laces metrics telemetry.json
 //	laces serve -archive dir -metrics -pprof
+//	laces loadgen -archive dir -duration 20s -out BENCH_api.json
 //
 // The worker and measure subcommands probe the embedded simulated Internet
 // (all components must use the same -seed); the orchestration plane itself
@@ -57,6 +58,7 @@ import (
 	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/client"
 	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/load"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/obs"
 	"github.com/laces-project/laces/internal/orchestrator"
@@ -105,6 +107,8 @@ func main() {
 		err = runBudget(args)
 	case "metrics":
 		err = runMetrics(args)
+	case "loadgen":
+		err = runLoadgen(args)
 	case "help", "-h", "--help":
 		usage()
 	default:
@@ -136,6 +140,7 @@ Subcommands:
   query          longitudinal queries over the archive's timeline index
   budget         show responsible-probing budgets, opt-outs and demand
   metrics        render a telemetry snapshot written with 'census -obs'
+  loadgen        drive the HTTP serving tier with a deterministic workload
 
 Run 'laces <subcommand> -h' for flags.
 `)
@@ -680,6 +685,166 @@ func runServe(args []string) error {
 		return nil
 	}
 	return err
+}
+
+// runLoadgen drives the serving tier with internal/load's deterministic
+// mixed workload and writes the BENCH_api.json report. By default the
+// server runs in-process over the given archive (so alloc/op is
+// measurable and no port is needed); -url points the same workload at a
+// live `laces serve` instead.
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ExitOnError)
+	archiveDir := fs.String("archive", "", "delta-encoded census store the workload draws days and prefixes from (required)")
+	baseURL := fs.String("url", "", "drive a live server at this base URL instead of in-process")
+	famFlag := fs.String("family", "ipv4", "address family")
+	duration := fs.Duration("duration", 20*time.Second, "run length")
+	rateFlag := fs.Float64("rate", 0, "open-loop requests per second (0 = closed loop)")
+	requests := fs.Int("requests", 0, "schedule length (0 = rate x duration when paced, else a fixed default)")
+	workers := fs.Int("workers", load.DefaultWorkers, "concurrent request workers")
+	seedFlag := fs.Int64("seed", 1, "workload schedule seed")
+	worldSeed := fs.Uint64("world-seed", 1, "simulated-world seed for the in-process server")
+	scale := fs.String("scale", "test", "world scale for the in-process server: test or default")
+	mixSpec := fs.String("mix", "", "op weights day:timeline:events:stability:aggregates (default 50:25:10:10:5)")
+	page := fs.Int("page", load.DefaultPageSize, "events page size")
+	reval := fs.Float64("revalidate", 0.3, "fraction of requests sent conditionally (If-None-Match)")
+	out := fs.String("out", "BENCH_api.json", "JSON report path (\"-\" for stdout)")
+	fs.Parse(args)
+	if *archiveDir == "" {
+		return errors.New("usage: laces loadgen -archive DIR [-url BASE] [-duration 20s] [-rate N] [-out BENCH_api.json]")
+	}
+	a, err := archive.Open(*archiveDir)
+	if err != nil {
+		return err
+	}
+	days := a.Days(*famFlag)
+	if len(days) == 0 {
+		return fmt.Errorf("archive %s has no %s days", *archiveDir, *famFlag)
+	}
+	// The timeline/events/stability/aggregates ops need the index; build
+	// it (or rebuild a stale one) so the workload exercises every route.
+	idxPath := filepath.Join(*archiveDir, query.IndexFileName)
+	ix, err := query.Open(idxPath)
+	if err == nil {
+		if cerr := ix.VerifyCoverage(a); cerr != nil {
+			ix.Close()
+			ix, err = nil, cerr
+		}
+	}
+	if ix == nil {
+		fmt.Printf("building timeline index %s (%v)\n", idxPath, err)
+		if _, err := query.Build(a, idxPath); err != nil {
+			return fmt.Errorf("building timeline index: %w", err)
+		}
+		if ix, err = query.Open(idxPath); err != nil {
+			return err
+		}
+	}
+	defer ix.Close()
+	ix.AttachArchive(a)
+	prefixes := ix.Prefixes(*famFlag)
+	if len(prefixes) > 128 {
+		prefixes = prefixes[:128]
+	}
+
+	cfg := load.Config{
+		Family:     *famFlag,
+		Days:       days,
+		Prefixes:   prefixes,
+		Rate:       *rateFlag,
+		Duration:   *duration,
+		Requests:   *requests,
+		Workers:    *workers,
+		Seed:       *seedFlag,
+		Revalidate: *reval,
+		PageSize:   *page,
+	}
+	if *mixSpec != "" {
+		mix, err := parseMix(*mixSpec)
+		if err != nil {
+			return err
+		}
+		cfg.Mix = mix
+	}
+	if *baseURL != "" {
+		cfg.BaseURL = *baseURL
+	} else {
+		w, err := simWorld(*worldSeed, *scale)
+		if err != nil {
+			return err
+		}
+		dep, err := laces.Tangled(w)
+		if err != nil {
+			return err
+		}
+		srv, err := api.NewServer(w, dep,
+			func(d int, v6 bool) ([]laces.VP, error) { return platform.Ark(w, d, v6) },
+			func() int { return days[0] })
+		if err != nil {
+			return err
+		}
+		srv.Archive = a
+		srv.Query = ix
+		cfg.Handler = srv.Handler()
+	}
+
+	target := "in-process"
+	if *baseURL != "" {
+		target = *baseURL
+	}
+	fmt.Printf("loadgen: %d days, %d prefixes, target %s\n", len(days), len(prefixes), target)
+	rep, err := load.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *out == "-" {
+		if err := rep.WriteJSON(os.Stdout); err != nil {
+			return err
+		}
+	} else {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+	fmt.Printf("%d requests in %.2fs: %.0f req/s, p50 %.3fms p95 %.3fms p99 %.3fms, 304 rate %.2f, errors %d, determinism_ok %v\n",
+		rep.Requests, rep.WallSeconds, rep.ReqPerSec, rep.P50Ms, rep.P95Ms, rep.P99Ms,
+		rep.NotModifiedRate, rep.Errors, rep.DeterminismOK)
+	if !rep.DeterminismOK {
+		return fmt.Errorf("determinism probe failed: %s", rep.DeterminismNote)
+	}
+	if rep.Errors > 0 {
+		return fmt.Errorf("%d of %d requests failed", rep.Errors, rep.Requests)
+	}
+	return nil
+}
+
+// parseMix parses "day:timeline:events:stability:aggregates" weights.
+func parseMix(spec string) (load.Mix, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 5 {
+		return load.Mix{}, fmt.Errorf("mix %q: want five weights day:timeline:events:stability:aggregates", spec)
+	}
+	var ws [5]int
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 {
+			return load.Mix{}, fmt.Errorf("mix %q: bad weight %q", spec, p)
+		}
+		ws[i] = v
+	}
+	m := load.Mix{Day: ws[0], Timeline: ws[1], Events: ws[2], Stability: ws[3], Aggregates: ws[4]}
+	if m == (load.Mix{}) {
+		return load.Mix{}, fmt.Errorf("mix %q: all weights zero", spec)
+	}
+	return m, nil
 }
 
 // loadDocument reads one published census JSON file.

@@ -49,6 +49,7 @@ func TestCLIUsageAndExitCodes(t *testing.T) {
 	subcommands := []string{
 		"orchestrator", "worker", "measure", "census", "igreedy", "serve",
 		"trace", "diff", "dashboard", "archive", "replay", "query", "budget",
+		"metrics", "loadgen",
 	}
 	cases := []struct {
 		name     string

@@ -18,9 +18,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/netip"
+	"slices"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/laces-project/laces/internal/archive"
@@ -67,6 +70,13 @@ type Server struct {
 	// is called. Off by default: profiling endpoints expose heap and CPU
 	// internals and belong behind an operator's explicit opt-in.
 	EnablePprof bool
+
+	// viewPtr holds the current serving generation (see cache.go):
+	// archive + index handles, precomputed validators and the per-view
+	// events cache, resolved once per request and swapped atomically by
+	// Reload. gen numbers generations for telemetry.
+	viewPtr atomic.Pointer[view]
+	gen     atomic.Uint64
 
 	mu       sync.Mutex
 	pipeline *core.Pipeline
@@ -132,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 	route("GET /v1/timeline/{prefix...}", s.handleTimeline)
 	route("GET /v1/events", s.handleEvents)
 	route("GET /v1/stability", s.handleStability)
+	route("GET /v1/aggregates", s.handleAggregates)
 	route("GET /v1/responsibility", s.handleResponsibility)
 	route("POST /v1/measure", s.handleMeasure)
 	route("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -154,10 +165,12 @@ func family(v6 bool) string {
 	return "ipv4"
 }
 
-// census returns the published document for a day — from the archive
-// when it carries the day, otherwise by running the pipeline — through a
-// bounded LRU of decoded days.
-func (s *Server) census(day int, v6 bool) (*cachedDay, error) {
+// census returns the published document for a day — from the pinned
+// view's archive when it carries the day, otherwise by running the
+// pipeline — through a bounded LRU of decoded days. The LRU is shared
+// across serving generations: it is keyed by day and archived days are
+// immutable, so Reload never invalidates it.
+func (s *Server) census(v *view, day int, v6 bool) (*cachedDay, error) {
 	key := censusKey{day, v6}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -167,18 +180,13 @@ func (s *Server) census(day int, v6 bool) (*cachedDay, error) {
 			bound = DefaultCacheSize
 		}
 		s.cache = archive.NewLRU[censusKey, *cachedDay](bound)
-		if s.Archive != nil {
-			// Keep the archive's internal decoded-day cache on the same
-			// bound, so "-cache N" governs both layers.
-			s.Archive.SetCacheSize(bound)
-		}
 	}
 	if cd, ok := s.cache.Get(key); ok {
 		return cd, nil
 	}
 	var doc *core.Document
-	if s.Archive != nil {
-		d, err := s.Archive.Document(family(v6), day)
+	if v.arch != nil {
+		d, err := v.arch.Document(family(v6), day)
 		switch {
 		case err == nil:
 			doc = d
@@ -234,9 +242,13 @@ func (s *Server) CachedDays() int {
 	return s.cache.Len()
 }
 
-// handleDays lists the archived census days for a family.
+// handleDays lists the archived census days for a family. The ETag
+// covers the day list and every day's content hash; the list grows as
+// days are appended, so the policy is revalidate (a 304 when nothing
+// changed, a fresh ETag as soon as a census appends).
 func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
-	if s.Archive == nil {
+	v := s.currentView()
+	if v.arch == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no archive attached to this server"))
 		return
 	}
@@ -245,12 +257,18 @@ func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	days := s.Archive.Days(family(v6))
+	days := v.arch.Days(family(v6))
 	if len(days) == 0 {
 		// Consistent with /v1/census and /v1/range: a family the
 		// archive does not carry is a miss, not an empty success.
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no %s days archived", family(v6)))
 		return
+	}
+	if t := v.famTags[family(v6)]; t != nil {
+		if notModified(w, r, t, ccRevalidate) {
+			return
+		}
+		tagHeaders(w, t, ccRevalidate)
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"family": family(v6),
@@ -262,7 +280,8 @@ func (s *Server) handleDays(w http.ResponseWriter, r *http.Request) {
 // census document per line, decoded incrementally from the delta store —
 // O(1) documents in memory no matter how long the span.
 func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
-	if s.Archive == nil {
+	v := s.currentView()
+	if v.arch == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no archive attached to this server"))
 		return
 	}
@@ -276,15 +295,28 @@ func (s *Server) handleRange(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	if len(s.Archive.Days(family(v6))) == 0 {
+	if len(v.arch.Days(family(v6))) == 0 {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no %s days archived", family(v6)))
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	w.WriteHeader(http.StatusOK) //laces:allow httporder streaming NDJSON route: status commits before the incremental body by design
+	// A span with an explicit upper bound is a fixed set of immutable
+	// days — cacheable forever; an open-ended span grows as days are
+	// appended, so it revalidates.
+	if t := v.rangeTag(family(v6), from, to); t != nil {
+		cc := ccRevalidate
+		if to >= 0 {
+			cc = ccImmutable
+		}
+		if notModified(w, r, t, cc) {
+			return
+		}
+		tagHeaders(w, t, cc)
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson") //laces:allow httporder notModified/tagHeaders only stamp validators here — the 304 path returned above, so the header is still open
+	w.WriteHeader(http.StatusOK)                           //laces:allow httporder streaming NDJSON route: status commits before the incremental body by design
 	enc := json.NewEncoder(w)
 	flusher, _ := w.(http.Flusher)
-	if err := s.Archive.Range(family(v6), from, to, func(day int, doc *core.Document) error {
+	if err := v.arch.Range(family(v6), from, to, func(day int, doc *core.Document) error {
 		if err := enc.Encode(doc); err != nil {
 			return err
 		}
@@ -321,6 +353,11 @@ func parseFromTo(r *http.Request) (from, to int, err error) {
 
 // parseDayFamily extracts ?day= and ?family= query parameters.
 func (s *Server) parseDayFamily(r *http.Request) (int, bool, error) {
+	if r.URL.RawQuery == "" {
+		// Fast path: url.Values allocates even for an empty query string,
+		// and the conditional-GET 304 path must stay zero-alloc.
+		return s.Clock(), false, nil
+	}
 	day := s.Clock()
 	if v := r.URL.Query().Get("day"); v != "" {
 		d, err := strconv.Atoi(v)
@@ -341,20 +378,30 @@ func (s *Server) parseDayFamily(r *http.Request) (int, bool, error) {
 }
 
 // handleCensus serves the full daily census document in its canonical
-// published byte form.
+// published byte form. Archived days are immutable, so they carry the
+// pack-time content hash as a strong ETag plus an immutable cache
+// policy — and a matching If-None-Match turns around as a 304 before
+// any document is decoded.
 func (s *Server) handleCensus(w http.ResponseWriter, r *http.Request) {
 	day, v6, err := s.parseDayFamily(r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	cd, err := s.census(day, v6)
+	v := s.currentView()
+	if t := v.dayTags[censusKey{day, v6}]; t != nil {
+		if notModified(w, r, t, ccImmutable) {
+			return
+		}
+		tagHeaders(w, t, ccImmutable)
+	}
+	cd, err := s.census(v, day, v6)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(http.StatusOK) //laces:allow httporder the census document streams its canonical bytes directly; the funnel would re-encode them
+	w.Header().Set("Content-Type", "application/json") //laces:allow httporder notModified/tagHeaders only stamp validators here — the 304 path returned above, so the header is still open
+	w.WriteHeader(http.StatusOK)                       //laces:allow httporder the census document streams its canonical bytes directly; the funnel would re-encode them
 	if err := cd.doc.WriteJSON(w); err != nil {
 		// Headers already sent; nothing more to do.
 		return
@@ -388,27 +435,36 @@ func (s *Server) handlePrefix(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
 		return
 	}
-	cd, err := s.census(day, v6)
+	v := s.currentView()
+	// Derived wholly from one immutable archived day, so it shares the
+	// day's validator and cache policy.
+	if t := v.dayTags[censusKey{day, v6}]; t != nil {
+		if notModified(w, r, t, ccImmutable) {
+			return
+		}
+		tagHeaders(w, t, ccImmutable)
+	}
+	cd, err := s.census(v, day, v6)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return
 	}
-	view := prefixView{Prefix: prefix.String(), Day: day}
+	pv := prefixView{Prefix: prefix.String(), Day: day}
 	if i, ok := cd.idx[prefix.String()]; ok {
 		e := &cd.doc.Entries[i]
-		view.InCensus = true
-		view.AnycastBased = len(e.ACProtocols) > 0
-		view.GCDAnycast = e.GCDAnycast
-		view.GCDSites = e.GCDSites
-		view.GCDCities = e.GCDCities
+		pv.InCensus = true
+		pv.AnycastBased = len(e.ACProtocols) > 0
+		pv.GCDAnycast = e.GCDAnycast
+		pv.GCDSites = e.GCDSites
+		pv.GCDCities = e.GCDCities
 	}
-	writeJSON(w, http.StatusOK, view)
+	writeJSON(w, http.StatusOK, pv)
 }
 
-// requireQuery rejects longitudinal requests on servers without an
+// requireQuery rejects longitudinal requests on views without an
 // attached timeline index.
-func (s *Server) requireQuery(w http.ResponseWriter) bool {
-	if s.Query == nil {
+func requireQuery(v *view, w http.ResponseWriter) bool {
+	if v.q == nil {
 		writeErr(w, http.StatusNotFound, fmt.Errorf("no timeline index attached to this server (build one with `laces query build-index`)"))
 		return false
 	}
@@ -428,7 +484,8 @@ func queryErr(w http.ResponseWriter, err error) {
 // handleTimeline serves one prefix's full longitudinal record from the
 // columnar index — no document is decoded.
 func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
-	if !s.requireQuery(w) {
+	v := s.currentView()
+	if !requireQuery(v, w) {
 		return
 	}
 	_, v6, err := s.parseDayFamily(r)
@@ -441,81 +498,172 @@ func (s *Server) handleTimeline(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
 		return
 	}
-	tl, err := s.Query.Timeline(family(v6), prefix.String())
+	// Index-keyed: the response is a pure function of the index bytes,
+	// so the build fingerprint is its validator. A 304 costs no row read.
+	if notModified(w, r, v.idxTag, ccRevalidate) {
+		return
+	}
+	tl, err := v.q.Timeline(family(v6), prefix.String())
 	if err != nil {
 		queryErr(w, err)
 		return
 	}
+	tagHeaders(w, v.idxTag, ccRevalidate)
 	writeJSON(w, http.StatusOK, tl)
+}
+
+// eventsPage is the /v1/events response envelope. count is always the
+// full match count; events carries the requested page.
+type eventsPage struct {
+	Family        string        `json:"family"`
+	Count         int           `json:"count"`
+	Events        []query.Event `json:"events"`
+	NextPageToken string        `json:"next_page_token,omitempty"`
 }
 
 // handleEvents serves the family-wide longitudinal event scan:
 // onset/offset/flap/site-churn/geo-shift, filtered by kind and day
 // range, answered entirely from the index.
+//
+// Pagination is cursor-based: ?limit=N returns the first N events in
+// chronological order plus an opaque next_page_token; the token pins
+// the whole query shape and the index fingerprint, so resuming a walk
+// is deterministic (byte-identical pages however often it is replayed)
+// and a cursor minted against a rebuilt index is rejected with 400
+// instead of silently skipping events. When page_token is present it
+// fully determines the query; other filter parameters are ignored.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
-	if !s.requireQuery(w) {
-		return
-	}
-	_, v6, err := s.parseDayFamily(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	v := s.currentView()
+	if !requireQuery(v, w) {
 		return
 	}
 	q := r.URL.Query()
-	var kinds []query.EventKind
-	for _, raw := range q["kind"] {
-		// Accept both repeated params and the comma-separated form the
-		// CLI teaches (-kind onset,flap).
-		for _, one := range strings.Split(raw, ",") {
-			k, err := query.ParseEventKind(strings.TrimSpace(one))
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, err)
+	var t pageToken
+	if raw := q.Get("page_token"); raw != "" {
+		var err error
+		if t, err = decodePageToken(raw, v.fp); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	} else {
+		_, v6, err := s.parseDayFamily(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		kinds, err := parseKinds(q["kind"])
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		from, to, err := parseFromTo(r)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		hysteresis := 0
+		if v := q.Get("hysteresis"); v != "" {
+			if hysteresis, err = strconv.Atoi(v); err != nil || hysteresis < 1 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid hysteresis %q", v))
 				return
 			}
-			kinds = append(kinds, k)
 		}
+		limit := 0
+		if v := q.Get("limit"); v != "" {
+			if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
+				writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
+				return
+			}
+		}
+		t = pageToken{fp: v.fp, family: family(v6), kinds: kinds, from: from, to: to, hysteresis: hysteresis, limit: limit}
 	}
-	from, to, err := parseFromTo(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
+	// Every page shares the index validator: same fingerprint, same
+	// bytes for the same URL.
+	if notModified(w, r, v.idxTag, ccRevalidate) {
 		return
 	}
-	opts := query.EventOptions{}
-	if v := q.Get("hysteresis"); v != "" {
-		if opts.Hysteresis, err = strconv.Atoi(v); err != nil || opts.Hysteresis < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid hysteresis %q", v))
-			return
-		}
-	}
-	limit := 0
-	if v := q.Get("limit"); v != "" {
-		if limit, err = strconv.Atoi(v); err != nil || limit < 1 {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid limit %q", v))
-			return
-		}
-	}
-	events, err := s.Query.Events(family(v6), kinds, from, to, opts)
+	all, err := s.eventList(v, t.family, t.hysteresis, t.from, t.to)
 	if err != nil {
 		queryErr(w, err)
 		return
 	}
-	// count is the full match count; limit bounds the body to the most
-	// recent events so dashboards polling long archives don't pull the
-	// whole stream every time.
+	events := filterKinds(all, t.kinds)
 	total := len(events)
-	if limit > 0 && total > limit {
-		events = events[total-limit:]
+	next := ""
+	if t.limit > 0 {
+		if t.offset > total {
+			// Unmintable under a matching fingerprint; reject rather than
+			// invent an empty page.
+			writeErr(w, http.StatusBadRequest, errBadPageToken)
+			return
+		}
+		end := t.offset + t.limit
+		if end < total {
+			nt := t
+			nt.offset = end
+			next = nt.encode()
+		} else {
+			end = total
+		}
+		events = events[t.offset:end]
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"family": family(v6),
-		"count":  total,
-		"events": events,
+	if events == nil {
+		events = []query.Event{}
+	}
+	tagHeaders(w, v.idxTag, ccRevalidate)
+	writeJSON(w, http.StatusOK, eventsPage{
+		Family:        t.family,
+		Count:         total,
+		Events:        events,
+		NextPageToken: next,
 	})
+}
+
+// parseKinds validates ?kind= values (repeated and/or comma-separated)
+// into the canonical sorted, de-duplicated, comma-joined form tokens
+// and cache keys use. "" means every kind.
+func parseKinds(raw []string) (string, error) {
+	var kinds []string
+	for _, r := range raw {
+		for _, one := range strings.Split(r, ",") {
+			k, err := query.ParseEventKind(strings.TrimSpace(one))
+			if err != nil {
+				return "", err
+			}
+			kinds = append(kinds, string(k))
+		}
+	}
+	if len(kinds) == 0 {
+		return "", nil
+	}
+	sort.Strings(kinds)
+	kinds = slices.Compact(kinds)
+	return strings.Join(kinds, ","), nil
+}
+
+// filterKinds selects the events matching a canonical kind set ("" =
+// all). The shared all-kinds list is never mutated.
+func filterKinds(events []query.Event, kinds string) []query.Event {
+	if kinds == "" {
+		return events
+	}
+	want := make(map[query.EventKind]bool)
+	for _, k := range strings.Split(kinds, ",") {
+		want[query.EventKind(k)] = true
+	}
+	var out []query.Event
+	for _, e := range events {
+		if want[e.Kind] {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // handleStability serves one prefix's longitudinal stability score.
 func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) {
-	if !s.requireQuery(w) {
+	v := s.currentView()
+	if !requireQuery(v, w) {
 		return
 	}
 	_, v6, err := s.parseDayFamily(r)
@@ -533,12 +681,51 @@ func (s *Server) handleStability(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid prefix: %w", err))
 		return
 	}
-	st, err := s.Query.Stability(family(v6), prefix.String())
+	if notModified(w, r, v.idxTag, ccRevalidate) {
+		return
+	}
+	st, err := v.q.Stability(family(v6), prefix.String())
 	if err != nil {
 		queryErr(w, err)
 		return
 	}
+	tagHeaders(w, v.idxTag, ccRevalidate)
 	writeJSON(w, http.StatusOK, st)
+}
+
+// handleAggregates serves one family's materialized dashboard block —
+// per-day aggregate series, churn summary, stability histogram —
+// precomputed at index-build time and served without touching row
+// storage (the sidecar is loaded at Open; see query.Aggregates).
+func (s *Server) handleAggregates(w http.ResponseWriter, r *http.Request) {
+	v := s.currentView()
+	if !requireQuery(v, w) {
+		return
+	}
+	_, v6, err := s.parseDayFamily(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if notModified(w, r, v.idxTag, ccRevalidate) {
+		return
+	}
+	ag, err := v.q.Aggregates()
+	if err != nil {
+		queryErr(w, err)
+		return
+	}
+	fa := ag.Family(family(v6))
+	if fa == nil {
+		writeErr(w, http.StatusNotFound, fmt.Errorf("query: no %s timelines: %w", family(v6), query.ErrUnknownFamily))
+		return
+	}
+	tagHeaders(w, v.idxTag, ccRevalidate)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"fingerprint": v.fp,
+		"precomputed": v.q.AggregatesPrecomputed(),
+		"aggregates":  fa,
+	})
 }
 
 // Govern applies responsible-probing governance to the server's live
@@ -574,7 +761,7 @@ func (s *Server) handleResponsibility(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	cd, err := s.census(day, v6)
+	cd, err := s.census(s.currentView(), day, v6)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
 		return

@@ -20,9 +20,11 @@ import (
 	"net/http/pprof"
 	"time"
 
+	"github.com/laces-project/laces/internal/archive"
 	"github.com/laces-project/laces/internal/core"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/obs"
+	"github.com/laces-project/laces/internal/query"
 )
 
 // Instrument attaches a telemetry registry to the server: the live
@@ -53,33 +55,62 @@ func (s *Server) Instrument(reg *obs.Registry) error {
 	tel.Register(reg)
 
 	// Archive and query handles may be attached after Instrument (both
-	// are set-before-first-request fields), so the bridges read them at
-	// scrape time and report zero while absent.
+	// are set-before-first-request fields) and swapped by Reload, so the
+	// bridges read the current serving generation at scrape time — an
+	// atomic load, racing neither requests nor reloads — and report zero
+	// while absent.
 	reg.CounterFunc("laces_archive_decodes_total",
 		"Document materializations (snapshot parses plus delta applications).",
 		func() float64 {
-			if a := s.Archive; a != nil {
+			if a := s.peekArchive(); a != nil {
 				return float64(a.Decodes())
 			}
 			return 0
 		})
 	reg.CounterFunc("laces_archive_cache_total",
 		"Decoded-day LRU lookups, by outcome.",
-		func() float64 { h, _ := s.Archive.CacheStats(); return float64(h) },
+		func() float64 { h, _ := s.peekArchive().CacheStats(); return float64(h) },
 		obs.L("outcome", "hit"))
 	reg.CounterFunc("laces_archive_cache_total",
 		"Decoded-day LRU lookups, by outcome.",
-		func() float64 { _, m := s.Archive.CacheStats(); return float64(m) },
+		func() float64 { _, m := s.peekArchive().CacheStats(); return float64(m) },
 		obs.L("outcome", "miss"))
 	reg.CounterFunc("laces_query_lookups_total",
 		"Timeline lookups answered by the columnar index.",
-		func() float64 { l, _, _ := s.Query.Stats(); return float64(l) })
+		func() float64 { l, _, _ := s.peekQuery().Stats(); return float64(l) })
 	reg.CounterFunc("laces_query_cache_hits_total",
 		"Timeline lookups served from the decoded-timeline LRU.",
-		func() float64 { _, h, _ := s.Query.Stats(); return float64(h) })
+		func() float64 { _, h, _ := s.peekQuery().Stats(); return float64(h) })
 	reg.CounterFunc("laces_query_decode_fallbacks_total",
 		"Full-entry queries that fell back to document decoding.",
-		func() float64 { _, _, d := s.Query.Stats(); return float64(d) })
+		func() float64 { _, _, d := s.peekQuery().Stats(); return float64(d) })
+	reg.CounterFunc("laces_query_event_rows_total",
+		"Rows considered by family-wide event scans, by outcome (scanned includes pruned).",
+		func() float64 { n, _ := s.peekQuery().EventScanStats(); return float64(n) },
+		obs.L("outcome", "scanned"))
+	reg.CounterFunc("laces_query_event_rows_total",
+		"Rows considered by family-wide event scans, by outcome (scanned includes pruned).",
+		func() float64 { _, p := s.peekQuery().EventScanStats(); return float64(p) },
+		obs.L("outcome", "pruned"))
+	return nil
+}
+
+// peekArchive and peekQuery read the current serving generation's
+// handles without forcing one to exist: scrapes may precede the first
+// request, and bridges must not race Reload by touching the
+// set-before-first-request fields directly. Both may return nil; the
+// accessors the bridges call are nil-safe or guarded.
+func (s *Server) peekArchive() *archive.Archive {
+	if v := s.viewPtr.Load(); v != nil {
+		return v.arch
+	}
+	return nil
+}
+
+func (s *Server) peekQuery() *query.Index {
+	if v := s.viewPtr.Load(); v != nil {
+		return v.q
+	}
 	return nil
 }
 

@@ -2,6 +2,7 @@ package archive
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -65,30 +66,36 @@ type dayKey struct {
 }
 
 // Open loads an archive directory's index.
+//
+// The index is append-only (one JSON line per packed day, committed
+// with a trailing newline), so a reader racing a writer can observe at
+// most one incomplete final line: the record whose newline has not
+// landed yet. Open treats exactly that — an unterminated, unparsable
+// last segment — as "day not visible yet" rather than corruption, which
+// is what lets a serving process re-open the archive mid-census to pick
+// up freshly appended days. A malformed line anywhere else is still an
+// error.
 func Open(dir string) (*Archive, error) {
-	f, err := os.Open(filepath.Join(dir, IndexFile))
+	data, err := os.ReadFile(filepath.Join(dir, IndexFile))
 	if err != nil {
 		return nil, fmt.Errorf("archive: %s is not an archive: %w", dir, err)
 	}
-	defer f.Close()
 	a := &Archive{dir: dir, byFam: make(map[string][]int), cache: NewLRU[dayKey, *core.Document](DefaultCacheSize)}
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	line := 0
-	for sc.Scan() {
-		line++
-		if len(sc.Bytes()) == 0 {
+	terminated := len(data) == 0 || data[len(data)-1] == '\n'
+	lines := bytes.Split(data, []byte("\n"))
+	for i, ln := range lines {
+		if len(ln) == 0 {
 			continue
 		}
 		var rec Record
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
-			return nil, fmt.Errorf("archive: index line %d: %w", line, err)
+		if err := json.Unmarshal(ln, &rec); err != nil {
+			if i == len(lines)-1 && !terminated {
+				break // append in flight: the torn final record is not visible yet
+			}
+			return nil, fmt.Errorf("archive: index line %d: %w", i+1, err)
 		}
 		a.byFam[rec.Family] = append(a.byFam[rec.Family], len(a.recs))
 		a.recs = append(a.recs, rec)
-	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("archive: reading index: %w", err)
 	}
 	for fam, idxs := range a.byFam {
 		for i := 1; i < len(idxs); i++ {

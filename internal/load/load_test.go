@@ -1,0 +1,255 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/laces-project/laces/internal/api"
+	"github.com/laces-project/laces/internal/archive"
+	"github.com/laces-project/laces/internal/core"
+	"github.com/laces-project/laces/internal/netsim"
+	"github.com/laces-project/laces/internal/obs"
+	"github.com/laces-project/laces/internal/platform"
+	"github.com/laces-project/laces/internal/query"
+)
+
+// loadTarget builds a small archived-and-indexed serving tier for the
+// generator to drive in-process.
+func loadTarget(t *testing.T) (*api.Server, []int, []string) {
+	t.Helper()
+	cfg := netsim.TestConfig()
+	cfg.V4Targets = 1500
+	cfg.NumASes = 100
+	w, err := netsim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := platform.Tangled(w, netsim.PolicyUnmodified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcd := func(day int, v6 bool) ([]netsim.VP, error) { return platform.Ark(w, day, v6) }
+	pipe, err := core.NewPipeline(w, core.Config{Deployment: d, GCDVPs: gcd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	aw, err := archive.Create(dir, archive.Options{SnapshotEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prefixes []string
+	days := []int{0, 1, 2, 3}
+	for _, day := range days {
+		c, err := pipe.RunDaily(day, false, core.DayOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		doc := c.Document()
+		if day == 0 {
+			for _, e := range doc.Entries[:3] {
+				prefixes = append(prefixes, e.Prefix)
+			}
+		}
+		if err := aw.Append(day, doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := aw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	a, err := archive.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := query.Build(a, filepath.Join(t.TempDir(), "timeline.idx"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := query.Open(ix.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { q.Close() })
+	s, err := api.NewServer(w, d, gcd, func() int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Archive = a
+	s.Query = q
+	return s, days, prefixes
+}
+
+// TestRunInProcess drives a full run against the serving tier and
+// checks the report invariants: every scheduled request issued, none
+// failed, the determinism probe passed, revalidation produced 304s.
+func TestRunInProcess(t *testing.T) {
+	s, days, prefixes := loadTarget(t)
+	rep, err := Run(Config{
+		Handler:    s.Handler(),
+		Days:       days,
+		Prefixes:   prefixes,
+		Requests:   300,
+		Workers:    3,
+		Seed:       7,
+		Revalidate: 0.5,
+		PageSize:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != ReportSchema || rep.Target != "in-process" {
+		t.Fatalf("report header: %q %q", rep.Schema, rep.Target)
+	}
+	if rep.Requests != 300 {
+		t.Fatalf("issued %d requests, scheduled 300", rep.Requests)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("%d requests failed", rep.Errors)
+	}
+	if !rep.DeterminismOK {
+		t.Fatalf("determinism probe failed: %s", rep.DeterminismNote)
+	}
+	if rep.NotModified == 0 {
+		t.Fatal("50%% conditional workload produced no 304s")
+	}
+	if rep.ReqPerSec <= 0 || rep.WallSeconds < 0 {
+		t.Fatalf("throughput degenerate: %v req/s over %vs", rep.ReqPerSec, rep.WallSeconds)
+	}
+	if rep.AllocPerOp <= 0 {
+		t.Fatalf("in-process run must report alloc/op, got %v", rep.AllocPerOp)
+	}
+	if len(rep.Ops) == 0 {
+		t.Fatal("no per-op stats")
+	}
+	var sum int64
+	for _, o := range rep.Ops {
+		sum += o.Requests
+	}
+	if sum != rep.Requests {
+		t.Fatalf("per-op requests %d != total %d", sum, rep.Requests)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report does not round-trip: %v", err)
+	}
+	if back.Requests != rep.Requests {
+		t.Fatal("report round-trip lost data")
+	}
+}
+
+// TestRunPaced exercises the open-loop path: a rate plus duration sizes
+// the schedule and the pacer spaces the sends.
+func TestRunPaced(t *testing.T) {
+	s, days, prefixes := loadTarget(t)
+	rep, err := Run(Config{
+		Handler:  s.Handler(),
+		Days:     days,
+		Prefixes: prefixes,
+		Rate:     2000,
+		Requests: 100,
+		Workers:  2,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests != 100 || rep.Errors != 0 {
+		t.Fatalf("paced run: %d requests, %d errors", rep.Requests, rep.Errors)
+	}
+	if rep.RatePerSec != 2000 {
+		t.Fatalf("report rate %v", rep.RatePerSec)
+	}
+}
+
+// TestScheduleDeterministic: the schedule is a pure function of the
+// seed — equal seeds agree op for op, different seeds diverge.
+func TestScheduleDeterministic(t *testing.T) {
+	cfg := Config{
+		Family:   "ipv4",
+		Days:     []int{0, 1, 2},
+		Prefixes: []string{"10.0.0.0/24", "10.0.1.0/24"},
+		Mix:      DefaultMix,
+		Seed:     42, Revalidate: 0.3, PageSize: 10,
+	}
+	pr := &probeResult{
+		dayEtags: map[int]string{0: `"a"`, 1: `"b"`, 2: `"c"`},
+		idxEtag:  `"idx"`,
+	}
+	s1 := buildSchedule(cfg, 500, pr)
+	s2 := buildSchedule(cfg, 500, pr)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("same seed produced different schedules")
+	}
+	cfg.Seed = 43
+	s3 := buildSchedule(cfg, 500, pr)
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestScheduleFoldsPrefixOps: without prefixes, timeline/stability
+// weight folds into day fetches instead of generating unroutable ops.
+func TestScheduleFoldsPrefixOps(t *testing.T) {
+	rep := Config{Family: "ipv4", Days: []int{0}, Mix: DefaultMix}
+	rep.Mix.Day += rep.Mix.Timeline + rep.Mix.Stability
+	rep.Mix.Timeline, rep.Mix.Stability = 0, 0
+	pr := &probeResult{dayEtags: map[int]string{0: `"a"`}}
+	for _, o := range buildSchedule(rep, 200, pr) {
+		if o.kind == OpTimeline || o.kind == OpStability {
+			t.Fatalf("prefix-keyed op %q scheduled with no prefixes", o.kind)
+		}
+	}
+}
+
+// TestQuantileInterpolation pins the histogram quantile math against a
+// hand-checked distribution.
+func TestQuantileInterpolation(t *testing.T) {
+	reg := obs.New()
+	h := reg.Histogram("t", "t", []float64{0.1, 0.2, 0.5}, obs.L("op", "x"))
+	for i := 0; i < 80; i++ {
+		h.Observe(0.05) // bucket le=0.1
+	}
+	for i := 0; i < 20; i++ {
+		h.Observe(0.3) // bucket le=0.5
+	}
+	p50 := quantile(h, 0.50)
+	if p50 <= 0 || p50 > 0.1 {
+		t.Fatalf("p50 = %v, want within (0, 0.1]", p50)
+	}
+	p95 := quantile(h, 0.95)
+	if p95 <= 0.2 || p95 > 0.5 {
+		t.Fatalf("p95 = %v, want within (0.2, 0.5]", p95)
+	}
+	if q := quantile(reg.Histogram("t", "t", []float64{0.1}, obs.L("op", "empty")), 0.5); q != 0 {
+		t.Fatalf("empty histogram quantile = %v", q)
+	}
+}
+
+// TestConfigValidation pins the constructor errors.
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("no target accepted")
+	}
+	if _, err := Run(Config{Handler: discardHandler{}, BaseURL: "http://x"}); err == nil {
+		t.Fatal("two targets accepted")
+	}
+	if _, err := Run(Config{Handler: discardHandler{}}); err == nil {
+		t.Fatal("no days accepted")
+	}
+	if _, err := Run(Config{Handler: discardHandler{}, Days: []int{0}, Revalidate: 2}); err == nil {
+		t.Fatal("revalidate fraction 2 accepted")
+	}
+}
+
+type discardHandler struct{}
+
+func (discardHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {}

@@ -1,0 +1,181 @@
+package query
+
+// Tests for the materialized aggregates sidecar and the day-window
+// pruning path of family-wide event scans.
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestEventsWindowEquivalence: a windowed scan must return exactly the
+// in-window slice of the full scan — the presence-bitmap pruning is an
+// optimization, never a semantic change — and must prune rows whose
+// prefixes have no presence near the window.
+func TestEventsWindowEquivalence(t *testing.T) {
+	_, ix := buildIndex(t, synthChain(40, 150))
+	full, err := ix.Events("ipv4", nil, 0, -1, EventOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full) == 0 {
+		t.Fatal("synthetic chain produced no events")
+	}
+	for _, w := range [][2]int{{0, 5}, {8, 12}, {35, 39}, {10, 10}, {0, 39}, {38, 100}} {
+		from, to := w[0], w[1]
+		got, err := ix.Events("ipv4", nil, from, to, EventOptions{})
+		if err != nil {
+			t.Fatalf("window [%d,%d]: %v", from, to, err)
+		}
+		var want []Event
+		for _, e := range full {
+			if e.Day >= from && e.Day <= to {
+				want = append(want, e)
+			}
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("window [%d,%d]: %d events, want %d (pruned scan diverges from filtered full scan)",
+				from, to, len(got), len(want))
+		}
+	}
+	// A window between indexed days but out of every timeline is empty.
+	empty, err := ix.Events("ipv4", nil, 500, 900, EventOptions{})
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("out-of-range window: %d events, err %v", len(empty), err)
+	}
+	scanned, pruned := ix.EventScanStats()
+	if scanned == 0 {
+		t.Fatal("no rows counted as scanned")
+	}
+	if pruned == 0 {
+		t.Fatal("narrow windows pruned no rows — the bitmap-prefix check never fired")
+	}
+	if pruned > scanned {
+		t.Fatalf("pruned %d > scanned %d", pruned, scanned)
+	}
+}
+
+// TestAggregatesSidecar: Build writes the sidecar; Open serves it
+// (precomputed) with values identical to a fresh computation; a missing
+// or corrupt sidecar silently degrades to compute-on-demand with the
+// same answers.
+func TestAggregatesSidecar(t *testing.T) {
+	docs := synthChain(30, 120)
+	dir, ix := buildIndex(t, docs)
+	sidecar := AggregatesPath(filepath.Join(dir, IndexFileName))
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("Build left no aggregates sidecar: %v", err)
+	}
+	if !ix.AggregatesPrecomputed() {
+		t.Fatal("sidecar present but not loaded at Open")
+	}
+	ag, err := ix.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ag.Fingerprint != ix.Fingerprint() {
+		t.Fatalf("sidecar fingerprint %q, index %q", ag.Fingerprint, ix.Fingerprint())
+	}
+	fa := ag.Family("ipv4")
+	if fa == nil || fa.Days != 30 || len(fa.Series) != 30 || len(fa.Stability.Buckets) != 10 {
+		t.Fatalf("aggregates degenerate: %+v", fa)
+	}
+	if fa.Churn.Events == 0 || fa.Churn.Onsets == 0 || fa.Churn.Offsets == 0 {
+		t.Fatalf("churn summary empty: %+v", fa.Churn)
+	}
+	var bucketSum int
+	for _, b := range fa.Stability.Buckets {
+		bucketSum += b.Count
+	}
+	if bucketSum != fa.Prefixes {
+		t.Fatalf("stability histogram covers %d prefixes, family has %d", bucketSum, fa.Prefixes)
+	}
+
+	// Fresh computation agrees with the persisted sidecar.
+	fresh, err := ix.computeAggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ag, fresh) {
+		t.Fatal("sidecar aggregates differ from a fresh computation")
+	}
+
+	// Without the sidecar the endpoint-facing API degrades, not breaks.
+	if err := os.Remove(sidecar); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := Open(filepath.Join(dir, IndexFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reopened.Close()
+	if reopened.AggregatesPrecomputed() {
+		t.Fatal("precomputed reported with no sidecar on disk")
+	}
+	ag2, err := reopened.Aggregates()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ag, ag2) {
+		t.Fatal("computed-on-demand aggregates differ from the sidecar")
+	}
+
+	// A corrupt sidecar is ignored, not fatal.
+	if err := os.WriteFile(sidecar, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt, err := Open(filepath.Join(dir, IndexFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer corrupt.Close()
+	if corrupt.AggregatesPrecomputed() {
+		t.Fatal("corrupt sidecar accepted")
+	}
+}
+
+// TestAggregatesDeterministic: two builds over the same documents emit
+// byte-identical sidecars — the property that keeps index-keyed ETags
+// and dashboard payloads reproducible across rebuilds and machines.
+func TestAggregatesDeterministic(t *testing.T) {
+	docs := synthChain(20, 100)
+	dirA, _ := buildIndex(t, docs)
+	dirB, _ := buildIndex(t, docs)
+	a, err := os.ReadFile(AggregatesPath(filepath.Join(dirA, IndexFileName)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(AggregatesPath(filepath.Join(dirB, IndexFileName)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("aggregates sidecar bytes differ across identical builds")
+	}
+}
+
+// BenchmarkQueryEventsWindow measures the windowed event scan: the
+// narrow window should beat the full scan by skipping row decodes via
+// the presence-bitmap prefix check.
+func BenchmarkQueryEventsWindow(b *testing.B) {
+	_, ix := buildIndex(b, synthChain(60, 400))
+	b.Run("full", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Events("ipv4", nil, 0, -1, EventOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("narrow-window", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.Events("ipv4", nil, 20, 24, EventOptions{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -179,7 +179,28 @@ func Build(a *archive.Archive, path string) (*BuildResult, error) {
 		}
 		fams = append(fams, fb)
 	}
-	return writeIndex(a, path, fams)
+	res, err := writeIndex(a, path, fams)
+	if err != nil {
+		return nil, err
+	}
+	// Materialize the dashboard aggregates next to the index: the
+	// serving tier answers its hot queries from this sidecar without
+	// touching row storage. Computed by re-opening the committed file so
+	// the sidecar is a pure function of the index bytes (and carries
+	// their fingerprint).
+	ix, err := Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer ix.Close()
+	ag, err := ix.computeAggregates()
+	if err != nil {
+		return nil, err
+	}
+	if err := writeAggregates(AggregatesPath(path), ag); err != nil {
+		return nil, err
+	}
+	return res, nil
 }
 
 // BuildDir builds the index for the archive at dir, writing it next to

@@ -185,13 +185,41 @@ func abs(v int) int {
 // through the last indexed day). A nil or empty kind set selects every
 // kind. Rows stream through one at a time — O(1) timelines in memory —
 // and no document is decoded.
+//
+// The day window is pushed into the scan: every event with an effect
+// day in [from, to] requires the prefix to be present on some indexed
+// day at position [fromPos-1, toPos] (onset/flap/churn/shift days are
+// present days inside the window; an offset day is the first absent day
+// after a present day, so its predecessor sits at fromPos-1 or later).
+// For a narrow window, reading just the presence bitmap — the first
+// bytes of the row — rejects most prefixes without decoding their rows.
 func (ix *Index) Events(family string, kinds []EventKind, from, to int, opts EventOptions) ([]Event, error) {
 	fam := ix.fams[family]
 	if fam == nil {
 		return nil, fmt.Errorf("query: no %s timelines: %w", family, ErrUnknownFamily)
 	}
-	if to < 0 && len(fam.days) > 0 {
-		to = fam.days[len(fam.days)-1]
+	n := len(fam.days)
+	if n == 0 {
+		return nil, nil
+	}
+	if to < 0 {
+		to = fam.days[n-1]
+	}
+	// Resolve the window to day-list positions once. An empty resolved
+	// window means no indexed day — hence no event day — can fall in it.
+	fromPos := sort.SearchInts(fam.days, from)
+	toPos := sort.SearchInts(fam.days, to+1) - 1
+	if fromPos > toPos {
+		return nil, nil
+	}
+	lo := fromPos - 1
+	if lo < 0 {
+		lo = 0
+	}
+	full := fromPos == 0 && toPos == n-1
+	var bm []byte
+	if !full {
+		bm = make([]byte, bitmapLen(n))
 	}
 	want := make(map[EventKind]bool, len(kinds))
 	for _, k := range kinds {
@@ -199,6 +227,17 @@ func (ix *Index) Events(family string, kinds []EventKind, from, to int, opts Eve
 	}
 	var out []Event
 	for pos := range fam.prefixes {
+		ix.eventRows.Add(1)
+		if !full {
+			ref := fam.prefixes[pos]
+			if _, err := ix.f.ReadAt(bm, ix.rowsOff+ref.off); err != nil {
+				return nil, fmt.Errorf("query: reading presence bitmap for %s: %w", ref.prefix, err)
+			}
+			if !anyBit(bm, lo, toPos) {
+				ix.eventRowsPruned.Add(1)
+				continue
+			}
+		}
 		tl, err := ix.loadRow(family, fam, pos)
 		if err != nil {
 			return nil, err

@@ -72,10 +72,22 @@ type Index struct {
 	fams    map[string]*famIndex
 	order   []string // family names, sorted
 
+	// fingerprint is the build identity: the header's two section CRCs,
+	// fixed at build time. See Fingerprint.
+	fingerprint string
+
 	arch *archive.Archive // optional: full-entry fallback
 
 	mu    sync.Mutex
 	cache *archive.LRU[tlKey, *Timeline]
+
+	// agg is the materialized dashboard aggregate set: preloaded from
+	// the sidecar file when its fingerprint matches, otherwise computed
+	// once on first use (aggOnce).
+	agg         *Aggregates
+	aggFromDisk bool
+	aggOnce     sync.Once
+	aggErr      error
 
 	// Lookup telemetry, atomically updated per query and never consulted
 	// by query logic. decodeFallbacks counts FullEntries calls — the one
@@ -83,6 +95,27 @@ type Index struct {
 	lookups         atomic.Int64
 	cacheHits       atomic.Int64
 	decodeFallbacks atomic.Int64
+
+	// Event-scan telemetry: rows considered by Events and rows the
+	// day-range presence-prefix check skipped without a full decode.
+	eventRows       atomic.Int64
+	eventRowsPruned atomic.Int64
+}
+
+// Fingerprint identifies the exact build of this index: the hex digest
+// of the TOC and rows section CRC-32Cs recorded in the header at build
+// time. It is stable across process restarts and re-opens of the same
+// file, and changes whenever the index is rebuilt over different
+// archive contents — the property HTTP validators (ETags) need.
+func (ix *Index) Fingerprint() string { return ix.fingerprint }
+
+// EventScanStats reports the Events scan telemetry: rows considered and
+// rows skipped by the day-range presence check without a full decode.
+func (ix *Index) EventScanStats() (scanned, pruned int64) {
+	if ix == nil {
+		return 0, 0
+	}
+	return ix.eventRows.Load(), ix.eventRowsPruned.Load()
 }
 
 // Stats reports the index's lifetime query telemetry: Timeline lookups,
@@ -154,11 +187,12 @@ func Open(path string) (*Index, error) {
 	}
 
 	ix := &Index{
-		path:    path,
-		f:       f,
-		rowsOff: int64(headerLen) + int64(h.tocLen),
-		fams:    make(map[string]*famIndex),
-		cache:   archive.NewLRU[tlKey, *Timeline](DefaultCacheSize),
+		path:        path,
+		f:           f,
+		rowsOff:     int64(headerLen) + int64(h.tocLen),
+		fams:        make(map[string]*famIndex),
+		fingerprint: fmt.Sprintf("%08x%08x", h.tocCRC, h.rowsCRC),
+		cache:       archive.NewLRU[tlKey, *Timeline](DefaultCacheSize),
 	}
 	r := &bufReader{b: tocBytes}
 	nFams := int(r.u32())
@@ -190,6 +224,12 @@ func Open(path string) (*Index, error) {
 	if r.err != nil {
 		f.Close()
 		return nil, r.err
+	}
+	// A matching aggregates sidecar (written by Build) lets the hot
+	// dashboard queries skip row storage entirely; a missing, stale or
+	// unreadable sidecar just means Aggregates computes on first use.
+	if ag := loadAggregates(AggregatesPath(path), ix.fingerprint); ag != nil {
+		ix.agg, ix.aggFromDisk = ag, true
 	}
 	return ix, nil
 }

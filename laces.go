@@ -84,6 +84,7 @@ import (
 	"io"
 	"time"
 
+	"github.com/laces-project/laces/internal/api"
 	"github.com/laces-project/laces/internal/archive"
 	"github.com/laces-project/laces/internal/budget"
 	"github.com/laces-project/laces/internal/chaos"
@@ -91,6 +92,7 @@ import (
 	"github.com/laces-project/laces/internal/geo"
 	"github.com/laces-project/laces/internal/hitlist"
 	"github.com/laces-project/laces/internal/igreedy"
+	"github.com/laces-project/laces/internal/load"
 	"github.com/laces-project/laces/internal/longitudinal"
 	"github.com/laces-project/laces/internal/netsim"
 	"github.com/laces-project/laces/internal/obs"
@@ -205,6 +207,16 @@ type (
 	CensusSeriesPoint = query.SeriesPoint
 	// CensusIndexBuild summarises one index build.
 	CensusIndexBuild = query.BuildResult
+	// CensusAggregates is the materialized dashboard block — per-day
+	// aggregate series, churn summary, stability histogram — written as
+	// a sidecar at index-build time and served without row reads.
+	CensusAggregates = query.Aggregates
+	// CensusFamilyAggregates is one family's materialized block.
+	CensusFamilyAggregates = query.FamilyAggregates
+	// CensusChurnSummary totals a family's longitudinal events.
+	CensusChurnSummary = query.ChurnSummary
+	// CensusStabilitySummary is a family's stability-score histogram.
+	CensusStabilitySummary = query.StabilitySummary
 )
 
 // Responsible-probing governance types (the R3 layer: probe budgets,
@@ -424,6 +436,46 @@ func QueryEvents(ix *CensusTimelineIndex, family string, kinds []TimelineEventKi
 func QueryStability(ix *CensusTimelineIndex, family, prefix string) (*PrefixStability, error) {
 	return ix.Stability(family, prefix)
 }
+
+// QueryAggregates returns the index's materialized aggregates —
+// precomputed at build time (the timeline.idx.agg sidecar) or computed
+// once on demand when the sidecar is absent.
+func QueryAggregates(ix *CensusTimelineIndex) (*CensusAggregates, error) {
+	return ix.Aggregates()
+}
+
+// HTTP serving tier types (the internal/api server and the
+// internal/load workload generator that drives it).
+type (
+	// CensusAPIServer serves the census, archive and longitudinal query
+	// layers over HTTP with conditional-request caching, cursor
+	// pagination and snapshot-isolated reads (Reload publishes a new
+	// generation; in-flight requests keep theirs).
+	CensusAPIServer = api.Server
+	// LoadConfig parameterises one deterministic load run.
+	LoadConfig = load.Config
+	// LoadMix weights the workload by op kind (day fetch, timeline,
+	// events, stability, aggregates).
+	LoadMix = load.Mix
+	// LoadReport is the BENCH_api.json document: sustained req/s,
+	// interpolated p50/p95/p99, 304 hit rate, alloc/op and the
+	// determinism-probe verdict.
+	LoadReport = load.Report
+)
+
+// NewCensusAPIServer builds the HTTP serving tier over a world and its
+// deployment. Attach an archive and timeline index via the Server's
+// fields (or Reload) to light up the archived-day and longitudinal
+// routes.
+func NewCensusAPIServer(w *World, d *Deployment, gcdVPs func(day int, v6 bool) ([]VP, error), clock func() int) (*CensusAPIServer, error) {
+	return api.NewServer(w, d, gcdVPs, clock)
+}
+
+// RunLoadTest drives a serving tier (in-process handler or live base
+// URL) with a deterministic mixed workload and returns the measured
+// report. The schedule is a pure function of the config, and the run's
+// probe phase verifies stable ETags and reproducible pagination.
+func RunLoadTest(cfg LoadConfig) (*LoadReport, error) { return load.Run(cfg) }
 
 // Traceroute measures the TTL-based forward path from a vantage point to
 // a hitlist target at a point on the census timeline.
